@@ -1,0 +1,250 @@
+(* qroute: command-line front-end for the routing stack.
+
+   Subcommands:
+     route      route one permutation on a grid and report depth/size
+     sweep      sweep grid sizes and workloads, printing a depth/time table
+     transpile  transpile a QASM-subset circuit file onto a grid
+     gen        emit a stock circuit in the QASM-subset format
+     stats      describe a workload permutation *)
+
+open Qroute
+open Cmdliner
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_name s with
+    | Some strategy -> Ok strategy
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
+               (String.concat ", " (List.map Strategy.name Strategy.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Strategy.name s))
+
+let kind_conv =
+  let parse s =
+    match Generators.of_name s with
+    | Some kind -> Ok kind
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown workload %S (try: random, block:4, overlap:4x32, \
+                skinny:8, reversal, rowshift:1, colshift:1, mirror, identity)"
+               s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Generators.name k))
+
+let rows_arg =
+  Arg.(value & opt int 8 & info [ "rows"; "m" ] ~docv:"M" ~doc:"Grid rows.")
+
+let cols_arg =
+  Arg.(value & opt int 8 & info [ "cols"; "n" ] ~docv:"N" ~doc:"Grid columns.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.Best
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Routing strategy: local, local1, naive, ats, ats-serial, snake, best.")
+
+(* ------------------------------------------------------------------ route *)
+
+let route_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv Generators.Random
+      & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"Workload permutation class.")
+  in
+  let show =
+    Arg.(value & flag & info [ "show" ] ~doc:"Print the matching layers.")
+  in
+  let run rows cols seed strategy kind show =
+    let grid = Grid.make ~rows ~cols in
+    let pi = Generators.generate grid kind (Rng.create seed) in
+    let (sched, seconds) =
+      Timer.time (fun () -> Strategy.route strategy grid pi)
+    in
+    assert (Schedule.realizes ~n:(Grid.size grid) sched pi);
+    Printf.printf "grid %dx%d  workload %s  strategy %s\n" rows cols
+      (Generators.name kind) (Strategy.name strategy);
+    Printf.printf
+      "depth %d  swaps %d  displacement-bound %d  time %.6fs\n"
+      (Schedule.depth sched) (Schedule.size sched)
+      (Perm.max_distance (fun u v -> Grid.manhattan grid u v) pi)
+      seconds;
+    if show then begin
+      Printf.printf "\ndestinations (* = displaced):\n%s"
+        (Viz.permutation_ascii grid pi);
+      Printf.printf "\nschedule:\n%s" (Viz.schedule_ascii grid sched);
+      Printf.printf "\nswap activity per vertex:\n%s"
+        (Viz.occupancy_ascii grid sched)
+    end
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route one permutation on a grid")
+    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ strategy_arg $ kind $ show)
+
+(* ------------------------------------------------------------------ sweep *)
+
+let sweep_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 4; 8; 12; 16 ]
+      & info [ "sizes" ] ~docv:"N,..." ~doc:"Square grid side lengths.")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per point.")
+  in
+  let run sizes seeds =
+    Printf.printf "%-6s %-12s %-11s %8s %8s %10s\n" "grid" "workload"
+      "strategy" "depth" "swaps" "time(s)";
+    List.iter
+      (fun side ->
+        let grid = Grid.make ~rows:side ~cols:side in
+        List.iter
+          (fun kind ->
+            List.iter
+              (fun strategy ->
+                let depths = ref [] and times = ref [] in
+                for seed = 0 to seeds - 1 do
+                  let pi = Generators.generate grid kind (Rng.create seed) in
+                  let (sched, seconds) =
+                    Timer.time (fun () -> Strategy.route strategy grid pi)
+                  in
+                  depths := float_of_int (Schedule.depth sched) :: !depths;
+                  times := seconds :: !times
+                done;
+                Printf.printf "%-6s %-12s %-11s %8.1f %8s %10.5f\n"
+                  (Printf.sprintf "%dx%d" side side)
+                  (Generators.name kind) (Strategy.name strategy)
+                  (Stats.mean (Array.of_list !depths))
+                  "-"
+                  (Stats.mean (Array.of_list !times)))
+              [ Strategy.Local; Strategy.Naive; Strategy.Ats ])
+          (Generators.paper_kinds grid))
+      sizes
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Depth/time sweep over grid sizes and workloads")
+    Term.(const run $ sizes $ seeds)
+
+(* -------------------------------------------------------------- transpile *)
+
+let transpile_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Input circuit (QASM subset).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the physical circuit here.")
+  in
+  let run rows cols strategy input output =
+    let grid = Grid.make ~rows ~cols in
+    match Qasm.load input with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok logical ->
+        if Circuit.num_qubits logical <> Grid.size grid then begin
+          Printf.eprintf
+            "error: circuit has %d qubits but the %dx%d grid has %d vertices\n"
+            (Circuit.num_qubits logical) rows cols (Grid.size grid);
+          exit 1
+        end;
+        let (result, seconds) =
+          Timer.time (fun () -> transpile ~strategy grid logical)
+        in
+        assert (Transpile.verify_feasible (Grid.graph grid) result);
+        Printf.printf
+          "logical:  size %d  depth %d  two-qubit %d\n"
+          (Circuit.size logical) (Circuit.depth logical)
+          (Circuit.two_qubit_count logical);
+        Printf.printf
+          "physical: size %d  depth %d  swaps %d  routed-slices %d  \
+           swap-layers %d  time %.4fs\n"
+          (Circuit.size result.physical)
+          (Circuit.depth result.physical)
+          (Circuit.swap_count result.physical)
+          result.routed_slices result.swap_layers seconds;
+        Option.iter (fun path -> Qasm.save path result.physical) output
+  in
+  Cmd.v
+    (Cmd.info "transpile" ~doc:"Transpile a circuit file onto a grid")
+    Term.(const run $ rows_arg $ cols_arg $ strategy_arg $ input $ output)
+
+(* -------------------------------------------------------------------- gen *)
+
+let gen_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("qft", `Qft); ("ghz", `Ghz); ("ising", `Ising);
+                            ("random", `Random) ])) None
+      & info [] ~docv:"KIND" ~doc:"Circuit family: qft, ghz, ising, random.")
+  in
+  let gates =
+    Arg.(value & opt int 64 & info [ "gates" ] ~docv:"G"
+           ~doc:"Gate count for random circuits.")
+  in
+  let run rows cols seed which gates =
+    let grid = Grid.make ~rows ~cols in
+    let n = Grid.size grid in
+    let circuit =
+      match which with
+      | `Qft -> Library.qft n
+      | `Ghz -> Library.ghz n
+      | `Ising -> Library.ising_trotter_2d grid ~steps:1 ~theta:0.1
+      | `Random -> Library.random_two_qubit (Rng.create seed) ~num_qubits:n ~gates
+    in
+    print_string (Qasm.print circuit)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a stock circuit in the QASM subset")
+    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ which $ gates)
+
+(* ------------------------------------------------------------------ stats *)
+
+let stats_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv Generators.Random
+      & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"Workload permutation class.")
+  in
+  let run rows cols seed kind =
+    let grid = Grid.make ~rows ~cols in
+    let pi = Generators.generate grid kind (Rng.create seed) in
+    Format.printf "workload %s on %dx%d:@.%a@." (Generators.name kind) rows
+      cols Perm_stats.pp
+      (Perm_stats.compute grid pi);
+    let histogram = Perm_stats.displacement_histogram grid pi in
+    Format.printf "displacement histogram:@.";
+    Array.iteri
+      (fun d count -> if count > 0 then Format.printf "  d=%d: %d@." d count)
+      histogram;
+    Format.printf "depth lower bound: %d@." (Bounds.depth_lower_bound grid pi)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Describe a workload permutation")
+    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ kind)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "qroute" ~version:"1.0.0"
+             ~doc:"Locality-aware qubit routing for grid architectures")
+          [ route_cmd; sweep_cmd; transpile_cmd; gen_cmd; stats_cmd ]))

@@ -1,0 +1,46 @@
+(* Head-to-head router comparison across the paper's workload classes —
+   a miniature of Figure 4 that runs in seconds.
+
+   Run with:  dune exec examples/compare_routers.exe *)
+
+open Qroute
+
+let side = 10
+let seeds = 3
+
+let () =
+  let grid = Grid.make ~rows:side ~cols:side in
+  Printf.printf
+    "Routing on a %dx%d grid (%d qubits), mean over %d seeds.\n\n" side side
+    (Grid.size grid) seeds;
+  Printf.printf "%-13s %9s %9s %9s | %9s %9s\n" "workload" "local" "naive"
+    "ats" "t-local" "t-ats";
+  let summarize kind =
+    let stats strategy =
+      let depths = ref [] and times = ref [] in
+      for seed = 0 to seeds - 1 do
+        let pi = Generators.generate grid kind (Rng.create seed) in
+        let sched, seconds =
+          Timer.time (fun () -> Strategy.route strategy grid pi)
+        in
+        assert (Schedule.realizes ~n:(Grid.size grid) sched pi);
+        depths := float_of_int (Schedule.depth sched) :: !depths;
+        times := seconds :: !times
+      done;
+      ( Stats.mean (Array.of_list !depths),
+        Stats.mean (Array.of_list !times) )
+    in
+    let local_d, local_t = stats Strategy.Local in
+    let naive_d, _ = stats Strategy.Naive in
+    let ats_d, ats_t = stats Strategy.Ats in
+    Printf.printf "%-13s %9.1f %9.1f %9.1f | %8.4fs %8.4fs\n"
+      (Generators.name kind) local_d naive_d ats_d local_t ats_t
+  in
+  List.iter summarize (Generators.paper_kinds grid);
+  summarize Generators.Reversal;
+  print_newline ();
+  Printf.printf
+    "Reading the table: on random permutations the locality-aware router\n\
+     gives the shallowest schedules; on block-local ones all routers are\n\
+     close; the time columns show the matching-based routers scaling far\n\
+     better than token swapping (the paper's Figure 5).\n"

@@ -1,0 +1,95 @@
+(* Hungarian algorithm, shortest-augmenting-path formulation with row and
+   column potentials (the classic 1-indexed presentation).  Cost values are
+   plain ints; the algorithm never overflows for |cost| < max_int / (2n). *)
+
+let solve ~costs =
+  let n = Array.length costs in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Assignment.solve: matrix must be square")
+    costs;
+  if n = 0 then ([||], 0)
+  else begin
+    let inf = max_int / 2 in
+    let u = Array.make (n + 1) 0 in
+    let v = Array.make (n + 1) 0 in
+    let p = Array.make (n + 1) 0 in
+    (* p.(j) = row matched to column j *)
+    let way = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (n + 1) inf in
+      let used = Array.make (n + 1) false in
+      let continue_ = ref true in
+      while !continue_ do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref inf in
+        let j1 = ref 0 in
+        for j = 1 to n do
+          if not used.(j) then begin
+            let cur = costs.(i0 - 1).(j - 1) - u.(i0) - v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to n do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) + !delta;
+            v.(j) <- v.(j) - !delta
+          end
+          else minv.(j) <- minv.(j) - !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue_ := false
+      done;
+      (* Augment along the recorded alternating path. *)
+      let j0 = ref !j0 in
+      while !j0 <> 0 do
+        let j1 = way.(!j0) in
+        p.(!j0) <- p.(j1);
+        j0 := j1
+      done
+    done;
+    let assignment = Array.make n 0 in
+    let total = ref 0 in
+    for j = 1 to n do
+      assignment.(p.(j) - 1) <- j - 1;
+      total := !total + costs.(p.(j) - 1).(j - 1)
+    done;
+    (assignment, !total)
+  end
+
+let brute_force ~costs =
+  let n = Array.length costs in
+  if n > 8 then invalid_arg "Assignment.brute_force: instance too big";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Assignment.brute_force: matrix must be square")
+    costs;
+  let used = Array.make n false in
+  let best = ref max_int in
+  let rec go row acc =
+    if row = n then begin
+      if acc < !best then best := acc
+    end
+    else
+      for col = 0 to n - 1 do
+        if not used.(col) then begin
+          used.(col) <- true;
+          go (row + 1) (acc + costs.(row).(col));
+          used.(col) <- false
+        end
+      done
+  in
+  go 0 0;
+  if n = 0 then 0 else !best

@@ -1,0 +1,21 @@
+(** Minimum-cost perfect assignment (Hungarian algorithm).
+
+    Complements {!Bottleneck}: MCBBM minimizes the {e worst} edge of the
+    assignment, this module minimizes the {e sum}.  The routing stack uses
+    it to extend partial permutations (the paper's "don't-care" qubits,
+    §II): unconstrained qubits are assigned to leftover destinations with
+    minimum total displacement, so the router is handed the cheapest
+    completion.
+
+    Implementation: the O(n³) shortest-augmenting-path formulation with
+    potentials (Jonker–Volgenant style), dense cost matrix. *)
+
+val solve : costs:int array array -> int array * int
+(** [solve ~costs] for a square matrix returns [(assignment, total)] where
+    [assignment.(row) = column] is a minimum-total-cost perfect assignment.
+    Deterministic.  @raise Invalid_argument on a non-square or empty-row
+    matrix. *)
+
+val brute_force : costs:int array array -> int
+(** Exhaustive minimum total cost; factorial time, for tests on tiny
+    instances only.  @raise Invalid_argument beyond 8×8. *)

@@ -1,0 +1,104 @@
+type edge = { l : int; r : int; weight : int }
+
+type solution = {
+  bottleneck : int;
+  pairs : (int * int) list;
+  left_match : int array;
+}
+
+let matching_size ~nl ~nr kept =
+  let edges = Array.of_list (List.map (fun e -> (e.l, e.r)) kept) in
+  Hopcroft_karp.solve ~nl ~nr ~edges
+
+let solve ~nl ~nr edge_list =
+  List.iter
+    (fun e ->
+      if e.l < 0 || e.l >= nl || e.r < 0 || e.r >= nr then
+        invalid_arg "Bottleneck.solve: endpoint out of range")
+    edge_list;
+  let full = matching_size ~nl ~nr edge_list in
+  let target = full.size in
+  if target = 0 then { bottleneck = min_int; pairs = []; left_match = Array.make nl (-1) }
+  else begin
+    let weights =
+      List.sort_uniq compare (List.map (fun e -> e.weight) edge_list)
+    in
+    let weight_array = Array.of_list weights in
+    (* Smallest threshold index whose filtered graph still reaches the
+       maximum cardinality. *)
+    let feasible idx =
+      let kept = List.filter (fun e -> e.weight <= weight_array.(idx)) edge_list in
+      let result = matching_size ~nl ~nr kept in
+      result.size >= target
+    in
+    let lo = ref 0 and hi = ref (Array.length weight_array - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if feasible mid then hi := mid else lo := mid + 1
+    done;
+    let threshold = weight_array.(!lo) in
+    let kept = List.filter (fun e -> e.weight <= threshold) edge_list in
+    let kept_array = Array.of_list kept in
+    let edges = Array.map (fun e -> (e.l, e.r)) kept_array in
+    let result = Hopcroft_karp.solve ~nl ~nr ~edges in
+    assert (result.size = target);
+    let left_match = Array.make nl (-1) in
+    let pairs = ref [] in
+    let bottleneck = ref min_int in
+    Array.iteri
+      (fun l k ->
+        if k >= 0 then begin
+          let e = kept_array.(k) in
+          left_match.(l) <- e.r;
+          pairs := (l, e.r) :: !pairs;
+          if e.weight > !bottleneck then bottleneck := e.weight
+        end)
+      result.left_match;
+    { bottleneck = !bottleneck; pairs = List.rev !pairs; left_match }
+  end
+
+let solve_complete ~weights =
+  let nl = Array.length weights in
+  let nr = if nl = 0 then 0 else Array.length weights.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> nr then
+        invalid_arg "Bottleneck.solve_complete: ragged matrix")
+    weights;
+  let edge_list = ref [] in
+  for l = nl - 1 downto 0 do
+    for r = nr - 1 downto 0 do
+      edge_list := { l; r; weight = weights.(l).(r) } :: !edge_list
+    done
+  done;
+  solve ~nl ~nr !edge_list
+
+let brute_force ~nl ~nr edge_list =
+  if max nl nr > 10 then invalid_arg "Bottleneck.brute_force: instance too big";
+  let full = matching_size ~nl ~nr edge_list in
+  let target = full.size in
+  let best = ref max_int in
+  let used_r = Array.make nr false in
+  (* Enumerate all matchings by left vertex, track size and bottleneck. *)
+  let by_left = Array.make nl [] in
+  List.iter (fun e -> by_left.(e.l) <- e :: by_left.(e.l)) edge_list;
+  let rec go l size bottleneck =
+    if l = nl then begin
+      if size = target && bottleneck < !best then best := bottleneck
+    end
+    else begin
+      (* Option 1: leave l unmatched (only useful if target still
+         reachable). *)
+      if size + (nl - l - 1) >= target then go (l + 1) size bottleneck;
+      List.iter
+        (fun e ->
+          if not used_r.(e.r) then begin
+            used_r.(e.r) <- true;
+            go (l + 1) (size + 1) (max bottleneck e.weight);
+            used_r.(e.r) <- false
+          end)
+        by_left.(l)
+    end
+  in
+  go 0 0 min_int;
+  !best

@@ -1,0 +1,148 @@
+type result = {
+  size : int;
+  left_match : int array;
+  right_match : int array;
+}
+
+let infinity_dist = max_int
+
+(* Build per-left-vertex adjacency as edge-index lists. *)
+let build_adjacency ~nl ~nr ~edges =
+  let count = Array.make nl 0 in
+  Array.iter
+    (fun (l, r) ->
+      if l < 0 || l >= nl || r < 0 || r >= nr then
+        invalid_arg "Hopcroft_karp: endpoint out of range";
+      count.(l) <- count.(l) + 1)
+    edges;
+  let offsets = Array.make (nl + 1) 0 in
+  for l = 0 to nl - 1 do
+    offsets.(l + 1) <- offsets.(l) + count.(l)
+  done;
+  let store = Array.make (Array.length edges) 0 in
+  let cursor = Array.copy offsets in
+  Array.iteri
+    (fun k (l, _) ->
+      store.(cursor.(l)) <- k;
+      cursor.(l) <- cursor.(l) + 1)
+    edges;
+  (offsets, store)
+
+let solve ~nl ~nr ~edges =
+  let offsets, adj = build_adjacency ~nl ~nr ~edges in
+  let left_match = Array.make nl (-1) in
+  let right_match = Array.make nr (-1) in
+  let dist = Array.make nl infinity_dist in
+  let queue = Queue.create () in
+  let matched_left_of_right r =
+    match right_match.(r) with -1 -> -1 | k -> fst edges.(k)
+  in
+  (* Layered BFS from free left vertices; true iff an augmenting path
+     exists. *)
+  let bfs () =
+    Queue.clear queue;
+    for l = 0 to nl - 1 do
+      if left_match.(l) = -1 then begin
+        dist.(l) <- 0;
+        Queue.add l queue
+      end
+      else dist.(l) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      for k = offsets.(l) to offsets.(l + 1) - 1 do
+        let edge = adj.(k) in
+        let r = snd edges.(edge) in
+        match matched_left_of_right r with
+        | -1 -> found := true
+        | l' ->
+            if dist.(l') = infinity_dist then begin
+              dist.(l') <- dist.(l) + 1;
+              Queue.add l' queue
+            end
+      done
+    done;
+    !found
+  in
+  let rec dfs l =
+    let rec try_edges k =
+      if k >= offsets.(l + 1) then begin
+        dist.(l) <- infinity_dist;
+        false
+      end
+      else begin
+        let edge = adj.(k) in
+        let r = snd edges.(edge) in
+        let advance =
+          match matched_left_of_right r with
+          | -1 -> true
+          | l' -> dist.(l') = dist.(l) + 1 && dfs l'
+        in
+        if advance then begin
+          left_match.(l) <- edge;
+          right_match.(r) <- edge;
+          true
+        end
+        else try_edges (k + 1)
+      end
+    in
+    try_edges offsets.(l)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for l = 0 to nl - 1 do
+      if left_match.(l) = -1 && dfs l then incr size
+    done
+  done;
+  { size = !size; left_match; right_match }
+
+let is_perfect ~nl ~nr result = nl = nr && result.size = nl
+
+let hall_violator ~nl ~nr ~edges result =
+  ignore nr;
+  let free = ref [] in
+  for l = nl - 1 downto 0 do
+    if result.left_match.(l) = -1 then free := l :: !free
+  done;
+  match !free with
+  | [] -> None
+  | free_lefts ->
+      (* Alternating BFS from all free left vertices: follow any edge
+         left→right, then matched edge right→left.  The reachable left set S
+         has N(S) = reachable rights, all matched, and |N(S)| = |S| - #free,
+         hence a Hall violator. *)
+      let seen_l = Array.make nl false in
+      let seen_r = Array.make (Array.length result.right_match) false in
+      let adjacency = Array.make nl [] in
+      Array.iter
+        (fun (l, r) -> adjacency.(l) <- r :: adjacency.(l))
+        edges;
+      let queue = Queue.create () in
+      List.iter
+        (fun l ->
+          seen_l.(l) <- true;
+          Queue.add l queue)
+        free_lefts;
+      while not (Queue.is_empty queue) do
+        let l = Queue.pop queue in
+        List.iter
+          (fun r ->
+            if not seen_r.(r) then begin
+              seen_r.(r) <- true;
+              match result.right_match.(r) with
+              | -1 -> () (* impossible for a maximum matching *)
+              | k ->
+                  let l' = fst edges.(k) in
+                  if not seen_l.(l') then begin
+                    seen_l.(l') <- true;
+                    Queue.add l' queue
+                  end
+            end)
+          adjacency.(l)
+      done;
+      let violator = ref [] in
+      for l = nl - 1 downto 0 do
+        if seen_l.(l) then violator := l :: !violator
+      done;
+      Some !violator

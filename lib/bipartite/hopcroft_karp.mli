@@ -1,0 +1,32 @@
+(** Hopcroft–Karp maximum matching on bipartite (multi)graphs.
+
+    Edges are given positionally: the [k]-th entry of [edges] is the pair
+    [(l, r)] with [l ∈ [0..nl)], [r ∈ [0..nr)].  Parallel edges are allowed
+    (the paper's column multigraph [G^[a,b]] has them); the matching then
+    selects a specific edge index, which is how the router recovers the
+    row labels attached to each edge.
+
+    Runs in O(E·√V), the same complexity family as the Kao–Lam–Sung–Ting
+    routine the paper cites (see DESIGN.md §4 on this substitution). *)
+
+type result = {
+  size : int;  (** Number of matched pairs. *)
+  left_match : int array;
+      (** [left_match.(l)] is the index into [edges] of the edge matching
+          [l], or [-1]. *)
+  right_match : int array;  (** Same, indexed by right vertices. *)
+}
+
+val solve : nl:int -> nr:int -> edges:(int * int) array -> result
+(** Maximum-cardinality matching.  Deterministic: ties are broken by edge
+    order.  @raise Invalid_argument on out-of-range endpoints. *)
+
+val is_perfect : nl:int -> nr:int -> result -> bool
+(** Whether every vertex on both sides is matched (requires [nl = nr]). *)
+
+val hall_violator :
+  nl:int -> nr:int -> edges:(int * int) array -> result -> int list option
+(** When the matching is not left-perfect, produce a Hall violator: a set
+    [S] of left vertices with [|N(S)| < |S|], as a certificate (built from
+    the vertices alternating-reachable from an unmatched left vertex).
+    [None] when the matching is left-perfect. *)

@@ -1,0 +1,61 @@
+(** Quantum circuits as gate sequences with dependency-aware metrics.
+
+    The gate list is in program order; two gates depend on each other iff
+    they share a qubit (we do not exploit algebraic commutation), so the
+    circuit's DAG is implicit and all layering is greedy ASAP over qubit
+    wires — the same convention the paper uses when counting how much
+    routing inflates size ([5 → 9]) and depth ([3 → 6]) in its Figure 1. *)
+
+type t
+
+val create : num_qubits:int -> Gate.t list -> t
+(** @raise Invalid_argument if any operand is outside [0..num_qubits-1] or
+    a two-qubit gate repeats an operand. *)
+
+val num_qubits : t -> int
+
+val gates : t -> Gate.t list
+(** Program order. *)
+
+val size : t -> int
+(** Total gate count. *)
+
+val two_qubit_count : t -> int
+
+val swap_count : t -> int
+
+val depth : t -> int
+(** Length of the critical path (ASAP layering over shared qubits). *)
+
+val layers : t -> Gate.t list list
+(** ASAP layers; concatenating them in order is a valid program order. *)
+
+val two_qubit_layers : t -> Gate.t list list
+(** ASAP layers of the two-qubit gates only, ignoring single-qubit gates —
+    the slices the transpiler routes between. *)
+
+val append : t -> Gate.t -> t
+
+val concat : t -> t -> t
+(** Sequential composition.  @raise Invalid_argument on qubit-count
+    mismatch. *)
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel all operands (the function must be injective on [0..n-1]). *)
+
+val of_schedule : num_qubits:int -> Qr_route.Schedule.t -> t
+(** SWAP gates realizing a routing schedule, layer order preserved. *)
+
+val expand_swaps : t -> t
+(** Replace every SWAP with its 3-CX realization — the paper's costing for
+    hardware without native SWAPs. *)
+
+val is_feasible : Qr_graph.Graph.t -> t -> bool
+(** Every two-qubit gate acts on coupled (adjacent) physical qubits. *)
+
+val infeasible_gates : Qr_graph.Graph.t -> t -> Gate.t list
+(** The two-qubit gates violating the coupling constraint. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type one_qubit =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+
+type two_qubit = CX | CZ | CP of float | RZZ of float | SWAP
+
+type t = One of one_qubit * int | Two of two_qubit * int * int
+
+let qubits = function
+  | One (_, q) -> [ q ]
+  | Two (_, a, b) -> [ a; b ]
+
+let is_two_qubit = function One _ -> false | Two _ -> true
+
+let is_swap = function Two (SWAP, _, _) -> true | One _ | Two _ -> false
+
+let map_qubits f = function
+  | One (g, q) -> One (g, f q)
+  | Two (g, a, b) -> Two (g, f a, f b)
+
+let is_symmetric = function
+  | CZ | CP _ | RZZ _ | SWAP -> true
+  | CX -> false
+
+let name = function
+  | One (H, _) -> "h"
+  | One (X, _) -> "x"
+  | One (Y, _) -> "y"
+  | One (Z, _) -> "z"
+  | One (S, _) -> "s"
+  | One (Sdg, _) -> "sdg"
+  | One (T, _) -> "t"
+  | One (Tdg, _) -> "tdg"
+  | One (Rx _, _) -> "rx"
+  | One (Ry _, _) -> "ry"
+  | One (Rz _, _) -> "rz"
+  | Two (CX, _, _) -> "cx"
+  | Two (CZ, _, _) -> "cz"
+  | Two (CP _, _, _) -> "cp"
+  | Two (RZZ _, _, _) -> "rzz"
+  | Two (SWAP, _, _) -> "swap"
+
+let angle = function
+  | One ((Rx a | Ry a | Rz a), _) | Two ((CP a | RZZ a), _, _) -> Some a
+  | One _ | Two _ -> None
+
+let equal a b = a = b
+
+let pp fmt gate =
+  let mnemonic = name gate in
+  match (angle gate, qubits gate) with
+  | Some a, qs ->
+      Format.fprintf fmt "%s(%g) %s" mnemonic a
+        (String.concat " " (List.map string_of_int qs))
+  | None, qs ->
+      Format.fprintf fmt "%s %s" mnemonic
+        (String.concat " " (List.map string_of_int qs))

@@ -1,0 +1,52 @@
+(** Quantum gates.
+
+    A deliberately small but closed gate set: enough to express the
+    workloads the paper motivates (QFT, GHZ state preparation, Trotterized
+    spatially-local Hamiltonians, random circuits) and to verify transpiled
+    circuits against a statevector simulator.  Angles are in radians. *)
+
+type one_qubit =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+
+type two_qubit =
+  | CX  (** Controlled-NOT; first operand is the control. *)
+  | CZ
+  | CP of float  (** Controlled phase. *)
+  | RZZ of float  (** exp(-i θ/2 Z⊗Z) — the Trotter-step interaction. *)
+  | SWAP
+
+type t =
+  | One of one_qubit * int
+  | Two of two_qubit * int * int
+
+val qubits : t -> int list
+(** Operand qubits, in order. *)
+
+val is_two_qubit : t -> bool
+
+val is_swap : t -> bool
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel operands (e.g. logical → physical). *)
+
+val is_symmetric : two_qubit -> bool
+(** Whether the gate commutes with exchanging its operands (CZ, CP, RZZ,
+    SWAP); CX does not. *)
+
+val name : t -> string
+(** Lower-case mnemonic used by the QASM-subset printer. *)
+
+val equal : t -> t -> bool
+(** Structural equality with float angle equality. *)
+
+val pp : Format.formatter -> t -> unit

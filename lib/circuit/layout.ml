@@ -1,0 +1,46 @@
+module Perm = Qr_perm.Perm
+module Schedule = Qr_route.Schedule
+
+type t = { phys_of_logical : int array; logical_of_phys : int array }
+
+let of_phys_of_logical a =
+  if not (Perm.is_permutation a) then
+    invalid_arg "Layout.of_phys_of_logical: not a permutation";
+  { phys_of_logical = Array.copy a; logical_of_phys = Perm.inverse a }
+
+let identity n = of_phys_of_logical (Array.init n (fun q -> q))
+
+let size t = Array.length t.phys_of_logical
+
+let phys t q = t.phys_of_logical.(q)
+
+let logical t v = t.logical_of_phys.(v)
+
+let to_phys_array t = Array.copy t.phys_of_logical
+
+let apply_perm t rho =
+  if Array.length rho <> size t then invalid_arg "Layout.apply_perm: size";
+  of_phys_of_logical (Array.map (fun v -> rho.(v)) t.phys_of_logical)
+
+let apply_schedule t sched =
+  apply_perm t (Schedule.apply ~n:(size t) sched)
+
+let routing_target ~src ~dst =
+  if size src <> size dst then invalid_arg "Layout.routing_target: size";
+  let n = size src in
+  let rho = Array.make n 0 in
+  for v = 0 to n - 1 do
+    rho.(v) <- dst.phys_of_logical.(src.logical_of_phys.(v))
+  done;
+  Perm.check rho
+
+let random rng n = of_phys_of_logical (Qr_util.Rng.permutation rng n)
+
+let equal a b = a.phys_of_logical = b.phys_of_logical
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>layout(";
+  Array.iteri
+    (fun q v -> Format.fprintf fmt "@ %d->%d" q v)
+    t.phys_of_logical;
+  Format.fprintf fmt ")@]"

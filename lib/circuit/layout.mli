@@ -1,0 +1,45 @@
+(** Layouts: the bijection between logical qubits and physical vertices.
+
+    Following the paper's NISQ assumption (footnote 2), the mapping is
+    one-to-one: every logical qubit occupies exactly one physical vertex
+    and vice versa (pad the program with idle qubits when it is smaller
+    than the device).  Immutable; updates return fresh values. *)
+
+type t
+
+val identity : int -> t
+(** Logical [q] on physical [q]. *)
+
+val of_phys_of_logical : int array -> t
+(** [of_phys_of_logical a] places logical [q] on physical [a.(q)].
+    @raise Invalid_argument unless [a] is a permutation. *)
+
+val size : t -> int
+
+val phys : t -> int -> int
+(** Physical vertex of a logical qubit. *)
+
+val logical : t -> int -> int
+(** Logical qubit on a physical vertex. *)
+
+val to_phys_array : t -> int array
+(** Fresh copy of the logical → physical table. *)
+
+val apply_schedule : t -> Qr_route.Schedule.t -> t
+(** The layout after executing a routing schedule on the physical device:
+    a schedule realizing permutation [ρ] moves the qubit on vertex [v] to
+    [ρ(v)]. *)
+
+val apply_perm : t -> Qr_perm.Perm.t -> t
+(** Same, from the realized permutation directly. *)
+
+val routing_target : src:t -> dst:t -> Qr_perm.Perm.t
+(** The physical permutation a router must realize to turn layout [src]
+    into [dst]: vertex holding logical [q] under [src] must travel to
+    [q]'s vertex under [dst]. *)
+
+val random : Qr_util.Rng.t -> int -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Rng = Qr_util.Rng
+
+let pi = 4.0 *. atan 1.0
+
+let qft_gates n ~with_reversal =
+  let acc = ref [] in
+  for target = 0 to n - 1 do
+    acc := Gate.One (Gate.H, target) :: !acc;
+    for k = 1 to n - 1 - target do
+      let angle = pi /. float_of_int (1 lsl k) in
+      acc := Gate.Two (Gate.CP angle, target + k, target) :: !acc
+    done
+  done;
+  if with_reversal then
+    for q = 0 to (n / 2) - 1 do
+      acc := Gate.Two (Gate.SWAP, q, n - 1 - q) :: !acc
+    done;
+  List.rev !acc
+
+let qft n = Circuit.create ~num_qubits:n (qft_gates n ~with_reversal:true)
+
+let qft_no_reversal n =
+  Circuit.create ~num_qubits:n (qft_gates n ~with_reversal:false)
+
+let ghz n =
+  if n < 1 then invalid_arg "Library.ghz: need at least one qubit";
+  let chain = List.init (n - 1) (fun q -> Gate.Two (Gate.CX, q, q + 1)) in
+  Circuit.create ~num_qubits:n (Gate.One (Gate.H, 0) :: chain)
+
+let ising_trotter_2d grid ~steps ~theta =
+  if steps < 0 then invalid_arg "Library.ising_trotter_2d: negative steps";
+  let n = Grid.size grid in
+  let edge_gates =
+    List.map
+      (fun (u, v) -> Gate.Two (Gate.RZZ theta, u, v))
+      (Qr_graph.Graph.edges (Grid.graph grid))
+  in
+  let field_gates = List.init n (fun q -> Gate.One (Gate.Rx theta, q)) in
+  let step = edge_gates @ field_gates in
+  let rec repeat k acc = if k = 0 then acc else repeat (k - 1) (acc @ step) in
+  Circuit.create ~num_qubits:n (repeat steps [])
+
+let random_two_qubit rng ~num_qubits ~gates =
+  if num_qubits < 2 then invalid_arg "Library.random_two_qubit: need 2 qubits";
+  let gate _ =
+    let a = Rng.int rng num_qubits in
+    let b = (a + 1 + Rng.int rng (num_qubits - 1)) mod num_qubits in
+    Gate.Two (Gate.CX, a, b)
+  in
+  Circuit.create ~num_qubits (List.init gates gate)
+
+let random_local_two_qubit rng ~grid ~radius ~gates =
+  if radius < 1 then invalid_arg "Library.random_local_two_qubit: radius";
+  let n = Grid.size grid in
+  if n < 2 then invalid_arg "Library.random_local_two_qubit: need 2 qubits";
+  let rec draw () =
+    let a = Rng.int rng n in
+    let near =
+      List.filter
+        (fun b -> b <> a && Grid.manhattan grid a b <= radius)
+        (List.init n (fun b -> b))
+    in
+    match near with
+    | [] -> draw ()
+    | choices -> (a, List.nth choices (Rng.int rng (List.length choices)))
+  in
+  let gate _ =
+    let a, b = draw () in
+    Gate.Two (Gate.CX, a, b)
+  in
+  Circuit.create ~num_qubits:n (List.init gates gate)
+
+let permutation_circuit perm =
+  let n = Array.length perm in
+  let swaps = ref [] in
+  (* Far-end-first swaps along each cycle advance every token one arc:
+     the whole cycle is realized (cf. the routers' chain trick). *)
+  List.iter
+    (fun cycle ->
+      let arr = Array.of_list cycle in
+      for k = Array.length arr - 2 downto 0 do
+        swaps := Gate.Two (Gate.SWAP, arr.(k), arr.(k + 1)) :: !swaps
+      done)
+    (Perm.cycles perm);
+  Circuit.create ~num_qubits:n (List.rev !swaps)

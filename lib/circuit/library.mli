@@ -1,0 +1,36 @@
+(** Stock logical circuits: the workload families the paper's introduction
+    motivates (QFT as the dense stress case, spatially-local Hamiltonian
+    simulation as the locality showcase) plus generic benchmark fodder. *)
+
+val qft : int -> Circuit.t
+(** Textbook quantum Fourier transform on [n] qubits: per target a Hadamard
+    and controlled phases [CP(π/2^k)] from every later qubit, then the
+    final qubit-reversal SWAPs.  All-to-all interactions — the paper's
+    extreme example of routing pressure. *)
+
+val qft_no_reversal : int -> Circuit.t
+(** QFT without the trailing SWAP network (the reversal is usually folded
+    into the output relabeling). *)
+
+val ghz : int -> Circuit.t
+(** H then a CX chain — nearest-neighbour after any line embedding. *)
+
+val ising_trotter_2d : Qr_graph.Grid.t -> steps:int -> theta:float -> Circuit.t
+(** First-order Trotter circuit for the transverse-field Ising model on the
+    grid: per step, [RZZ(θ)] on every grid edge and [Rx(θ)] on every qubit.
+    Interactions are exactly the coupling edges: the "simulation of
+    spatially local Hamiltonians" workload the paper expects to benefit. *)
+
+val random_two_qubit : Qr_util.Rng.t -> num_qubits:int -> gates:int -> Circuit.t
+(** Uniformly random CX endpoints — global traffic. *)
+
+val random_local_two_qubit :
+  Qr_util.Rng.t ->
+  grid:Qr_graph.Grid.t -> radius:int -> gates:int -> Circuit.t
+(** Random CX gates whose operand pair lies within Manhattan [radius] on
+    the grid — tunable locality. *)
+
+val permutation_circuit : Qr_perm.Perm.t -> Circuit.t
+(** SWAPs (one per adjacent transposition of a bubble-sort factorization on
+    qubit indices) realizing the permutation on an all-to-all machine; used
+    by tests as a known-unitary reference. *)

@@ -1,0 +1,26 @@
+(** A minimal line-oriented circuit text format (QASM-flavoured).
+
+    Grammar (one statement per line; [#] starts a comment):
+    {v
+    qubits <n>
+    h|x|y|z|s|sdg|t|tdg <q>
+    rx|ry|rz <angle> <q>
+    cx|cz|swap <q1> <q2>
+    cp|rzz <angle> <q1> <q2>
+    v}
+
+    Angles are decimal radians.  [print] and [parse] round-trip. *)
+
+val parse : string -> (Circuit.t, string) result
+(** Parse a full document; the error carries the offending line number and
+    text. *)
+
+val parse_exn : string -> Circuit.t
+(** @raise Invalid_argument with the same message. *)
+
+val print : Circuit.t -> string
+
+val load : string -> (Circuit.t, string) result
+(** Read and parse a file. *)
+
+val save : string -> Circuit.t -> unit

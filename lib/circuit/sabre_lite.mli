@@ -1,0 +1,41 @@
+(** A SABRE-style swap-insertion transpiler (Li–Ding–Xie, ASPLOS 2019 —
+    reference [6] of the paper), as a circuit-level baseline for the
+    slice-based {!Transpile}.
+
+    Instead of routing whole permutations between slices, SABRE walks the
+    dependency DAG gate by gate: executable front-layer gates are emitted;
+    when everything in the front is blocked, one SWAP is inserted — the
+    candidate (an edge touching a front gate's operand) minimizing a
+    heuristic score, the summed distances of the front-layer pairs plus a
+    discounted term for a lookahead window of upcoming gates.  A decay
+    penalty on recently-swapped qubits breaks oscillations.
+
+    This implementation is deliberately compact ("lite"): single forward
+    pass, no reverse-pass layout search.  It is exact on correctness (same
+    verification story as {!Transpile}) and serves as the
+    state-of-the-practice comparator in the circuit benchmarks. *)
+
+type config = {
+  lookahead : int;  (** Upcoming 2-qubit gates scored beyond the front (default 20). *)
+  lookahead_weight : float;  (** Their weight vs the front (default 0.5). *)
+  decay : float;  (** Per-use penalty on a qubit's swap score (default 0.001). *)
+  decay_reset : int;  (** Emitted-gate period after which decays reset (default 5). *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  ?initial:Layout.t ->
+  graph:Qr_graph.Graph.t ->
+  dist:Qr_graph.Distance.t ->
+  Circuit.t ->
+  Transpile.result
+(** Transpile with SABRE-style swap insertion.  Same contract as
+    {!Transpile.run}: every logical gate appears exactly once, only SWAPs
+    are added, the result is feasible, and the final layout is reported.
+    @raise Invalid_argument on size mismatch. *)
+
+val run_grid :
+  ?config:config -> ?initial:Layout.t -> Qr_graph.Grid.t -> Circuit.t ->
+  Transpile.result

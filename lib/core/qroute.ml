@@ -1,0 +1,107 @@
+module Rng = Qr_util.Rng
+module Stats = Qr_util.Stats
+module Timer = Qr_util.Timer
+module Graph = Qr_graph.Graph
+module Grid = Qr_graph.Grid
+module Product = Qr_graph.Product
+module Bfs = Qr_graph.Bfs
+module Distance = Qr_graph.Distance
+module Topology = Qr_graph.Topology
+module Perm = Qr_perm.Perm
+module Grid_perm = Qr_perm.Grid_perm
+module Generators = Qr_perm.Generators
+module Partial_perm = Qr_perm.Partial_perm
+module Perm_stats = Qr_perm.Perm_stats
+module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
+module Decompose = Qr_bipartite.Decompose
+module Bottleneck = Qr_bipartite.Bottleneck
+module Assignment = Qr_bipartite.Assignment
+module Schedule = Qr_route.Schedule
+module Path_route = Qr_route.Path_route
+module Column_graph = Qr_route.Column_graph
+module Grid_route = Qr_route.Grid_route
+module Local_grid_route = Qr_route.Local_grid_route
+module Product_route = Qr_route.Product_route
+module Line_route = Qr_route.Line_route
+module Bounds = Qr_route.Bounds
+module Viz = Qr_route.Viz
+module Token_swap = Qr_token.Token_swap
+module Parallel_ats = Qr_token.Parallel_ats
+module Exact = Qr_token.Exact
+module Gate = Qr_circuit.Gate
+module Circuit = Qr_circuit.Circuit
+module Qasm = Qr_circuit.Qasm
+module Layout = Qr_circuit.Layout
+module Transpile = Qr_circuit.Transpile
+module Library = Qr_circuit.Library
+module Noise = Qr_circuit.Noise
+module Placement = Qr_circuit.Placement
+module Optimize = Qr_circuit.Optimize
+module Sabre_lite = Qr_circuit.Sabre_lite
+module Statevector = Qr_sim.Statevector
+module Unitary = Qr_sim.Unitary
+module Permsim = Qr_sim.Permsim
+
+module Strategy = struct
+  type t = Local | Local_single | Naive | Ats | Ats_serial | Snake | Best
+
+  let all = [ Local; Local_single; Naive; Ats; Ats_serial; Snake; Best ]
+
+  let name = function
+    | Local -> "local"
+    | Local_single -> "local1"
+    | Naive -> "naive"
+    | Ats -> "ats"
+    | Ats_serial -> "ats-serial"
+    | Snake -> "snake"
+    | Best -> "best"
+
+  let of_name s = List.find_opt (fun strategy -> name strategy = s) all
+
+  let route strategy grid pi =
+    match strategy with
+    | Local -> Local_grid_route.route_best_orientation grid pi
+    | Local_single -> Local_grid_route.route grid pi
+    | Naive -> Grid_route.route_naive grid pi
+    | Ats ->
+        Parallel_ats.route (Grid.graph grid) (Distance.of_grid grid) pi
+    | Ats_serial ->
+        Token_swap.schedule (Grid.graph grid) (Distance.of_grid grid) pi
+    | Snake -> Line_route.route grid pi
+    | Best ->
+        let local = Local_grid_route.route_best_orientation grid pi in
+        let naive = Grid_route.route_naive grid pi in
+        if Schedule.depth naive < Schedule.depth local then naive else local
+
+  let generic_route strategy g oracle pi =
+    match strategy with
+    | Ats_serial -> Token_swap.schedule g oracle pi
+    | Ats | Local | Local_single | Naive | Snake | Best ->
+        Parallel_ats.route g oracle pi
+end
+
+let route ?(strategy = Strategy.Best) grid pi = Strategy.route strategy grid pi
+
+let route_partial ?(strategy = Strategy.Best) ?policy grid partial =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Partial_perm.Min_total (fun u v -> Grid.manhattan grid u v)
+  in
+  let pi = Partial_perm.extend policy partial in
+  (Strategy.route strategy grid pi, pi)
+
+let transpile ?(strategy = Strategy.Best) ?initial ?(place = false) grid
+    circuit =
+  let initial =
+    match initial with
+    | Some _ -> initial
+    | None when place ->
+        Some
+          (Placement.place ~graph:(Grid.graph grid)
+             ~dist:(Distance.of_grid grid) circuit)
+    | None -> None
+  in
+  Transpile.run_grid ?initial
+    ~router:(fun grid rho -> Strategy.route strategy grid rho)
+    grid circuit

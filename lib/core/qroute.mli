@@ -1,0 +1,103 @@
+(** Umbrella API: one import for the whole routing stack.
+
+    Re-exports every sub-library under stable names and adds the
+    {!Strategy} front-end — the "which router" switch the CLI, examples and
+    benchmarks all share. *)
+
+(** {2 Re-exports} *)
+
+module Rng = Qr_util.Rng
+module Stats = Qr_util.Stats
+module Timer = Qr_util.Timer
+module Graph = Qr_graph.Graph
+module Grid = Qr_graph.Grid
+module Product = Qr_graph.Product
+module Bfs = Qr_graph.Bfs
+module Distance = Qr_graph.Distance
+module Topology = Qr_graph.Topology
+module Perm = Qr_perm.Perm
+module Grid_perm = Qr_perm.Grid_perm
+module Generators = Qr_perm.Generators
+module Partial_perm = Qr_perm.Partial_perm
+module Perm_stats = Qr_perm.Perm_stats
+module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
+module Decompose = Qr_bipartite.Decompose
+module Bottleneck = Qr_bipartite.Bottleneck
+module Assignment = Qr_bipartite.Assignment
+module Schedule = Qr_route.Schedule
+module Path_route = Qr_route.Path_route
+module Column_graph = Qr_route.Column_graph
+module Grid_route = Qr_route.Grid_route
+module Local_grid_route = Qr_route.Local_grid_route
+module Product_route = Qr_route.Product_route
+module Line_route = Qr_route.Line_route
+module Bounds = Qr_route.Bounds
+module Viz = Qr_route.Viz
+module Token_swap = Qr_token.Token_swap
+module Parallel_ats = Qr_token.Parallel_ats
+module Exact = Qr_token.Exact
+module Gate = Qr_circuit.Gate
+module Circuit = Qr_circuit.Circuit
+module Qasm = Qr_circuit.Qasm
+module Layout = Qr_circuit.Layout
+module Transpile = Qr_circuit.Transpile
+module Library = Qr_circuit.Library
+module Noise = Qr_circuit.Noise
+module Placement = Qr_circuit.Placement
+module Optimize = Qr_circuit.Optimize
+module Sabre_lite = Qr_circuit.Sabre_lite
+module Statevector = Qr_sim.Statevector
+module Unitary = Qr_sim.Unitary
+module Permsim = Qr_sim.Permsim
+
+(** {2 Routing strategies} *)
+
+module Strategy : sig
+  type t =
+    | Local  (** Algorithm 1: LocalGridRoute over both orientations. *)
+    | Local_single  (** Algorithm 2 only (no transpose trick). *)
+    | Naive  (** Alon et al. GridRoute, arbitrary decomposition. *)
+    | Ats  (** Parallel ATS (depth-oriented, 4 trials). *)
+    | Ats_serial  (** Serial ATS, ASAP re-layered. *)
+    | Snake  (** 1-D boustrophedon odd–even baseline. *)
+    | Best  (** min-depth of [Local] and [Naive] — the paper's
+                "no-overhead" fallback combination. *)
+
+  val all : t list
+
+  val name : t -> string
+
+  val of_name : string -> t option
+
+  val route : t -> Grid.t -> Perm.t -> Schedule.t
+  (** Route a permutation on a grid.  Every strategy returns a valid
+      schedule realizing the permutation. *)
+
+  val generic_route : t -> Graph.t -> Distance.t -> Perm.t -> Schedule.t
+  (** Router for arbitrary connected coupling graphs: token-swapping
+      strategies run natively; the grid strategies fall back to parallel
+      ATS (grids should use {!route}). *)
+end
+
+val route :
+  ?strategy:Strategy.t -> Grid.t -> Perm.t -> Schedule.t
+(** [route grid pi] with the paper's default ([Strategy.Best]). *)
+
+val route_partial :
+  ?strategy:Strategy.t ->
+  ?policy:Partial_perm.policy ->
+  Grid.t -> Partial_perm.t -> Schedule.t * Perm.t
+(** Route a partial permutation (§II's don't-care case): extend it to a
+    full permutation (default policy: minimum-total-Manhattan-displacement
+    assignment of the don't-cares) and route that.  Returns the schedule
+    and the chosen extension. *)
+
+val transpile :
+  ?strategy:Strategy.t ->
+  ?initial:Layout.t ->
+  ?place:bool ->
+  Grid.t -> Circuit.t -> Transpile.result
+(** Transpile a logical circuit onto the grid using the chosen routing
+    strategy (default [Strategy.Best]).  With [~place:true] and no explicit
+    [initial], the interaction-graph {!Placement} heuristic chooses the
+    starting layout. *)

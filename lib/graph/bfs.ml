@@ -1,0 +1,62 @@
+let distances g src =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let distance g u v = (distances g u).(v)
+
+let parents g src =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  parent.(src) <- src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    (* Neighbors are iterated in increasing order, so the first discoverer of
+       a vertex is its smallest-index predecessor: deterministic paths. *)
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+  done;
+  parent
+
+let shortest_path g u v =
+  let parent = parents g v in
+  if parent.(u) = -1 && u <> v then raise Not_found;
+  let rec walk x acc = if x = v then List.rev (v :: acc) else walk parent.(x) (x :: acc) in
+  walk u []
+
+let all_pairs g = Array.init (Graph.num_vertices g) (fun v -> distances g v)
+
+let eccentricity g v =
+  let dist = distances g v in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Bfs.eccentricity: disconnected graph"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.num_vertices g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best

@@ -1,0 +1,32 @@
+(** Breadth-first search primitives: distances, shortest-path trees, and
+    all-pairs tables.  The token-swapping baseline consumes these heavily
+    (each swap decision asks "which neighbor is closer to the token's
+    destination?"). *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g src] maps every vertex to its hop distance from [src];
+    unreachable vertices get [max_int]. *)
+
+val distance : Graph.t -> int -> int -> int
+(** Single-pair distance via one BFS; [max_int] when unreachable. *)
+
+val parents : Graph.t -> int -> int array
+(** Shortest-path tree towards [src]: [parents.(v)] is the next vertex on a
+    shortest [v → src] path ([src] maps to itself; unreachable to [-1]).
+    Among equal-distance neighbors the smallest index is chosen, making
+    paths deterministic. *)
+
+val shortest_path : Graph.t -> int -> int -> int list
+(** [shortest_path g u v] lists the vertices of one shortest path, inclusive
+    of both endpoints.  @raise Not_found when disconnected. *)
+
+val all_pairs : Graph.t -> int array array
+(** [all_pairs g] runs one BFS per vertex: [result.(u).(v)] is the distance.
+    O(V·(V+E)) time, O(V²) space — fine for the grids we sweep. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite distance from the vertex.  @raise Invalid_argument if the
+    graph is disconnected. *)
+
+val diameter : Graph.t -> int
+(** Largest eccentricity.  @raise Invalid_argument if disconnected. *)

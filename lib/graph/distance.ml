@@ -1,0 +1,38 @@
+type t = { size : int; dist : int -> int -> int }
+
+let dist t u v =
+  if u < 0 || u >= t.size || v < 0 || v >= t.size then
+    invalid_arg "Distance.dist: vertex out of range";
+  t.dist u v
+
+let size t = t.size
+
+let of_grid grid =
+  { size = Grid.size grid; dist = (fun u v -> Grid.manhattan grid u v) }
+
+let of_graph g =
+  let table = Bfs.all_pairs g in
+  { size = Graph.num_vertices g; dist = (fun u v -> table.(u).(v)) }
+
+let of_graph_lazy g =
+  let n = Graph.num_vertices g in
+  let rows : int array option array = Array.make n None in
+  let row u =
+    match rows.(u) with
+    | Some r -> r
+    | None ->
+        let r = Bfs.distances g u in
+        rows.(u) <- Some r;
+        r
+  in
+  { size = n; dist = (fun u v -> (row u).(v)) }
+
+let of_product d1 d2 =
+  let n2 = d2.size in
+  let total = d1.size * n2 in
+  let product_dist x y =
+    let ux = x / n2 and vx = x mod n2 in
+    let uy = y / n2 and vy = y mod n2 in
+    d1.dist ux uy + d2.dist vx vy
+  in
+  { size = total; dist = product_dist }

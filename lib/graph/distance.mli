@@ -1,0 +1,30 @@
+(** Distance oracles: a uniform [dist u v] interface with per-topology
+    implementations.
+
+    The token-swapping baseline queries distances inside its innermost loop.
+    On grids the closed-form Manhattan metric avoids the O(V²) all-pairs
+    table; on Cartesian products distances add across factors; for arbitrary
+    graphs we fall back to a precomputed BFS table. *)
+
+type t
+
+val dist : t -> int -> int -> int
+(** Shortest-path distance between two flat vertex indices. *)
+
+val size : t -> int
+(** Number of vertices the oracle covers. *)
+
+val of_grid : Grid.t -> t
+(** O(1) Manhattan metric; no precomputation. *)
+
+val of_graph : Graph.t -> t
+(** All-pairs BFS table: O(V·(V+E)) setup, O(1) queries, O(V²) space. *)
+
+val of_graph_lazy : Graph.t -> t
+(** Per-source BFS rows computed on first use and memoized: pays only for
+    the sources actually queried. *)
+
+val of_product : t -> t -> t
+(** [of_product d1 d2] is the oracle for [G1 □ G2] given factor oracles,
+    using [dist ((u,v),(u',v')) = d1 u u' + d2 v v'].  Flattening matches
+    {!Product.index}. *)

@@ -1,0 +1,45 @@
+type t = { left : Graph.t; right : Graph.t; graph : Graph.t }
+
+let build_edges g1 g2 =
+  let n2 = Graph.num_vertices g2 in
+  let idx u v = (u * n2) + v in
+  let acc = ref [] in
+  for u = 0 to Graph.num_vertices g1 - 1 do
+    Graph.iter_edges g2 (fun v v' -> acc := (idx u v, idx u v') :: !acc)
+  done;
+  (* One copy of G1 per vertex of G2. *)
+  Graph.iter_edges g1 (fun u u' ->
+      for v = 0 to n2 - 1 do
+        acc := (idx u v, idx u' v) :: !acc
+      done);
+  !acc
+
+let make g1 g2 =
+  let n = Graph.num_vertices g1 * Graph.num_vertices g2 in
+  { left = g1; right = g2; graph = Graph.of_edges ~n (build_edges g1 g2) }
+
+let left t = t.left
+
+let right t = t.right
+
+let graph t = t.graph
+
+let size t = Graph.num_vertices t.graph
+
+let index t u v =
+  let n1 = Graph.num_vertices t.left and n2 = Graph.num_vertices t.right in
+  if u < 0 || u >= n1 || v < 0 || v >= n2 then invalid_arg "Product.index";
+  (u * n2) + v
+
+let coord t x =
+  if x < 0 || x >= size t then invalid_arg "Product.coord";
+  let n2 = Graph.num_vertices t.right in
+  (x / n2, x mod n2)
+
+let transpose t = make t.right t.left
+
+let transpose_vertex t x =
+  let u, v = coord t x in
+  (v * Graph.num_vertices t.left) + u
+
+let of_grid grid = make (Graph.path (Grid.rows grid)) (Graph.path (Grid.cols grid))

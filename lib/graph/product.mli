@@ -1,0 +1,38 @@
+(** Cartesian products of graphs, the "grid-like" architectures of the paper.
+
+    The product [G1 □ G2] has vertex set [V1 × V2]; [(u, v)] and [(u', v')]
+    are adjacent iff [u = u'] and [(v, v') ∈ E2], or [v = v'] and
+    [(u, u') ∈ E1].  The [m×n] grid is [path m □ path n].  Vertices are
+    flattened as [u * n2 + v] where [n2 = |V2|], mirroring {!Grid}'s
+    row-major layout so grid-specific and product-generic code agree. *)
+
+type t
+
+val make : Graph.t -> Graph.t -> t
+(** [make g1 g2] is [g1 □ g2]. *)
+
+val left : t -> Graph.t
+(** First factor. *)
+
+val right : t -> Graph.t
+(** Second factor. *)
+
+val graph : t -> Graph.t
+(** The product graph itself. *)
+
+val size : t -> int
+
+val index : t -> int -> int -> int
+(** [index p u v] flattens a pair of factor vertices. *)
+
+val coord : t -> int -> int * int
+(** Inverse of {!index}. *)
+
+val transpose : t -> t
+(** [g2 □ g1]. *)
+
+val transpose_vertex : t -> int -> int
+(** Flat index of the mirrored pair in [transpose p]. *)
+
+val of_grid : Grid.t -> t
+(** View a grid as [path rows □ path cols]; flat indices coincide. *)

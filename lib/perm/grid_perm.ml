@@ -1,0 +1,50 @@
+module Grid = Qr_graph.Grid
+
+let of_coord_map g f =
+  let n = Grid.size g in
+  let p =
+    Array.init n (fun v ->
+        let r', c' = f (Grid.coord g v) in
+        if not (Grid.in_bounds g r' c') then
+          invalid_arg "Grid_perm.of_coord_map: image out of bounds";
+        Grid.index g r' c')
+  in
+  Perm.check p
+
+let transpose g p =
+  let n = Grid.size g in
+  let pt = Array.make n 0 in
+  for v = 0 to n - 1 do
+    pt.(Grid.transpose_vertex g v) <- Grid.transpose_vertex g p.(v)
+  done;
+  Perm.check pt
+
+let untranspose_vertex g v =
+  (* Flat index (c, r) of the cols x rows transposed grid back to (r, c);
+     pure arithmetic — building the transposed grid here would dominate the
+     whole router (each call would construct a CSR graph). *)
+  let rows = Grid.rows g in
+  if v < 0 || v >= Grid.size g then invalid_arg "Grid_perm.untranspose_vertex";
+  let c = v / rows and r = v mod rows in
+  (r * Grid.cols g) + c
+
+let coord_pairs g p =
+  let acc = ref [] in
+  for v = Grid.size g - 1 downto 0 do
+    if p.(v) <> v then acc := (Grid.coord g v, Grid.coord g p.(v)) :: !acc
+  done;
+  !acc
+
+let locality_radius g p =
+  Perm.max_distance (fun u v -> Grid.manhattan g u v) p
+
+let pp g fmt p =
+  Format.fprintf fmt "@[<v>";
+  for r = 0 to Grid.rows g - 1 do
+    for c = 0 to Grid.cols g - 1 do
+      let r', c' = Grid.coord g p.(Grid.index g r c) in
+      Format.fprintf fmt "(%d,%d) " r' c'
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

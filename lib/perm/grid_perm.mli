@@ -1,0 +1,26 @@
+(** Permutations viewed through grid coordinates. *)
+
+val of_coord_map : Qr_graph.Grid.t -> (int * int -> int * int) -> Perm.t
+(** [of_coord_map g f] builds the flat permutation sending [(r, c)] to
+    [f (r, c)].  @raise Invalid_argument if [f] is not a bijection of the
+    grid's coordinates. *)
+
+val transpose : Qr_graph.Grid.t -> Perm.t -> Perm.t
+(** [transpose g p] is the paper's [π^T], a permutation on [transpose g]:
+    [π^T (c, r) = (c', r')] iff [π (r, c) = (r', c')].  Routing [π^T] on the
+    transposed grid and mirroring the schedule solves the original
+    instance. *)
+
+val untranspose_vertex : Qr_graph.Grid.t -> int -> int
+(** Inverse of {!Qr_graph.Grid.transpose_vertex}: map a flat index of
+    [transpose g] back to the corresponding flat index of [g]. *)
+
+val coord_pairs : Qr_graph.Grid.t -> Perm.t -> ((int * int) * (int * int)) list
+(** All [((r, c), (r', c'))] moves, displaced positions only, row-major. *)
+
+val locality_radius : Qr_graph.Grid.t -> Perm.t -> int
+(** Largest Manhattan displacement — the "how local is this permutation"
+    statistic the workload generators are parameterized by. *)
+
+val pp : Qr_graph.Grid.t -> Format.formatter -> Perm.t -> unit
+(** Render as a rows × cols table of destination coordinates. *)

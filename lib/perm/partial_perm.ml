@@ -1,0 +1,122 @@
+module Assignment = Qr_bipartite.Assignment
+
+type t = { n : int; dest_of : int array (* -1 = unconstrained *) }
+
+let make ~n pair_list =
+  if n < 0 then invalid_arg "Partial_perm.make: negative size";
+  let dest_of = Array.make n (-1) in
+  let taken = Array.make n false in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Partial_perm.make: value out of range";
+      if dest_of.(src) <> -1 then
+        invalid_arg "Partial_perm.make: duplicate source";
+      if taken.(dst) then invalid_arg "Partial_perm.make: duplicate destination";
+      dest_of.(src) <- dst;
+      taken.(dst) <- true)
+    pair_list;
+  { n; dest_of }
+
+let size t = t.n
+
+let pairs t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    if t.dest_of.(src) <> -1 then acc := (src, t.dest_of.(src)) :: !acc
+  done;
+  !acc
+
+let constrained t =
+  Array.fold_left (fun acc d -> if d <> -1 then acc + 1 else acc) 0 t.dest_of
+
+let is_total t = constrained t = t.n
+
+let of_perm p =
+  { n = Array.length p; dest_of = Array.copy (Perm.check p) }
+
+type policy =
+  | Stay
+  | Greedy_nearest of (int -> int -> int)
+  | Min_total of (int -> int -> int)
+
+let free_vertices t =
+  let taken = Array.make t.n false in
+  Array.iter (fun d -> if d <> -1 then taken.(d) <- true) t.dest_of;
+  let sources = ref [] and dests = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.dest_of.(v) = -1 then sources := v :: !sources;
+    if not taken.(v) then dests := v :: !dests
+  done;
+  (!sources, !dests)
+
+(* Pin every unconstrained vertex that can stay in place; the policies
+   below only handle the genuinely displaced remainder. *)
+let with_stay_bias t =
+  let dest_of = Array.copy t.dest_of in
+  let taken = Array.make t.n false in
+  Array.iter (fun d -> if d <> -1 then taken.(d) <- true) dest_of;
+  for v = 0 to t.n - 1 do
+    if dest_of.(v) = -1 && not taken.(v) then begin
+      dest_of.(v) <- v;
+      taken.(v) <- true
+    end
+  done;
+  { t with dest_of }
+
+let finish dest_of = Perm.check dest_of
+
+let extend_stay t =
+  let pinned = with_stay_bias t in
+  let sources, dests = free_vertices pinned in
+  let dest_of = Array.copy pinned.dest_of in
+  List.iter2 (fun src dst -> dest_of.(src) <- dst) sources dests;
+  finish dest_of
+
+let extend_greedy dist t =
+  let pinned = with_stay_bias t in
+  let sources, dests = free_vertices pinned in
+  let dest_of = Array.copy pinned.dest_of in
+  let taken = Array.make t.n false in
+  let candidates =
+    List.concat_map
+      (fun src -> List.map (fun dst -> (dist src dst, src, dst)) dests)
+      sources
+  in
+  List.iter
+    (fun (_, src, dst) ->
+      if dest_of.(src) = -1 && not taken.(dst) then begin
+        dest_of.(src) <- dst;
+        taken.(dst) <- true
+      end)
+    (List.sort compare candidates);
+  finish dest_of
+
+let extend_min_total dist t =
+  (* No stay bias here: staying put is simply the zero-cost diagonal, and
+     pre-pinning could force a worse global assignment. *)
+  let sources, dests = free_vertices t in
+  let dest_of = Array.copy t.dest_of in
+  let src_arr = Array.of_list sources and dst_arr = Array.of_list dests in
+  let k = Array.length src_arr in
+  if k > 0 then begin
+    let costs =
+      Array.init k (fun i -> Array.init k (fun j -> dist src_arr.(i) dst_arr.(j)))
+    in
+    let assignment, _total = Assignment.solve ~costs in
+    Array.iteri (fun i j -> dest_of.(src_arr.(i)) <- dst_arr.(j)) assignment
+  end;
+  finish dest_of
+
+let extend policy t =
+  match policy with
+  | Stay -> extend_stay t
+  | Greedy_nearest dist -> extend_greedy dist t
+  | Min_total dist -> extend_min_total dist t
+
+let total_distance dist t perm =
+  let acc = ref 0 in
+  for v = 0 to t.n - 1 do
+    if t.dest_of.(v) = -1 then acc := !acc + dist v perm.(v)
+  done;
+  !acc

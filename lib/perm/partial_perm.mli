@@ -1,0 +1,53 @@
+(** Partial permutations — routing with don't-care qubits.
+
+    §II of the paper: "Oftentimes, we do not care about the location of
+    some qubits.  In such a case, the destinations are given by a bijection
+    f : S → R, where S, R ⊂ V.  We can extend f to a permutation by
+    selecting destinations for the don't-care qubits."  This module is that
+    extension step, with three policies of increasing cost:
+
+    - {!Stay}: unconstrained vertices keep their position when free,
+      leftovers are paired in index order — O(n), no distance information;
+    - {!Greedy_nearest}: leftover sources take the nearest free destination,
+      scanning candidate pairs in distance order — good and cheap;
+    - {!Min_total}: leftover sources are assigned to free destinations by a
+      minimum-total-distance perfect assignment (Hungarian) — the optimal
+      completion w.r.t. total displacement, O(k³) in the number of free
+      vertices. *)
+
+type t
+(** A validated partial bijection on [0..n-1]. *)
+
+val make : n:int -> (int * int) list -> t
+(** [make ~n pairs] with [(source, destination)] pairs.
+    @raise Invalid_argument on out-of-range values, duplicate sources or
+    duplicate destinations. *)
+
+val size : t -> int
+(** The ambient [n]. *)
+
+val pairs : t -> (int * int) list
+(** The constrained pairs, sorted by source. *)
+
+val constrained : t -> int
+(** Number of constrained sources. *)
+
+val is_total : t -> bool
+(** Whether every vertex is constrained (the extension is forced). *)
+
+val of_perm : Perm.t -> t
+(** View a full permutation as a (total) partial one. *)
+
+type policy =
+  | Stay
+  | Greedy_nearest of (int -> int -> int)
+  | Min_total of (int -> int -> int)
+
+val extend : policy -> t -> Perm.t
+(** Complete to a full permutation under the given policy.  Constrained
+    pairs are always honored exactly. *)
+
+val total_distance : (int -> int -> int) -> t -> Perm.t -> int
+(** [total_distance dist partial perm] is [Σ dist v (perm v)] over the
+    {e unconstrained} vertices only — the quantity {!Min_total} minimizes
+    (checked in the tests against brute force). *)

@@ -1,0 +1,55 @@
+module Grid = Qr_graph.Grid
+
+type t = {
+  size : int;
+  displaced : int;
+  cycles : int;
+  longest_cycle : int;
+  total_displacement : int;
+  max_displacement : int;
+  mean_displacement : float;
+}
+
+let compute grid pi =
+  let n = Array.length pi in
+  let dist u v = Grid.manhattan grid u v in
+  let cycle_list = Perm.cycles pi in
+  {
+    size = n;
+    displaced = Perm.support_size pi;
+    cycles = List.length cycle_list;
+    longest_cycle =
+      List.fold_left (fun acc c -> max acc (List.length c)) 0 cycle_list;
+    total_displacement = Perm.total_distance dist pi;
+    max_displacement = Perm.max_distance dist pi;
+    mean_displacement =
+      (if n = 0 then 0.
+       else float_of_int (Perm.total_distance dist pi) /. float_of_int n);
+  }
+
+let displacement_histogram grid pi =
+  let diameter = Grid.rows grid - 1 + (Grid.cols grid - 1) in
+  let histogram = Array.make (diameter + 1) 0 in
+  Array.iteri
+    (fun v dst ->
+      let d = Grid.manhattan grid v dst in
+      histogram.(d) <- histogram.(d) + 1)
+    pi;
+  histogram
+
+let cycle_bounding_boxes grid pi =
+  List.map
+    (fun cycle ->
+      let coords = List.map (Grid.coord grid) cycle in
+      let rows = List.map fst coords and cols = List.map snd coords in
+      let min_list = List.fold_left min max_int in
+      let max_list = List.fold_left max min_int in
+      ( max_list rows - min_list rows + 1,
+        max_list cols - min_list cols + 1 ))
+    (Perm.cycles pi)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d displaced=%d cycles=%d longest=%d total_d=%d max_d=%d mean_d=%.2f"
+    t.size t.displaced t.cycles t.longest_cycle t.total_displacement
+    t.max_displacement t.mean_displacement

@@ -1,0 +1,26 @@
+(** Descriptive statistics of permutations on grids — the knobs that
+    characterize workload locality in the benchmark reports. *)
+
+type t = {
+  size : int;  (** Ambient n. *)
+  displaced : int;  (** Non-fixed points. *)
+  cycles : int;  (** Non-trivial cycles. *)
+  longest_cycle : int;  (** 0 for the identity. *)
+  total_displacement : int;  (** Σ Manhattan distances. *)
+  max_displacement : int;
+  mean_displacement : float;  (** Over all n positions. *)
+}
+
+val compute : Qr_graph.Grid.t -> Perm.t -> t
+
+val displacement_histogram : Qr_graph.Grid.t -> Perm.t -> int array
+(** [h.(d)] counts positions displaced exactly [d]; indices up to the grid
+    diameter. *)
+
+val cycle_bounding_boxes : Qr_graph.Grid.t -> Perm.t -> (int * int) list
+(** Per non-trivial cycle, the (height, width) of its coordinate bounding
+    box — the paper's informal notion of cycles "contained within small
+    regions" (block-local workloads have small boxes, long-skinny ones are
+    thin and long). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Grid = Qr_graph.Grid
+
+type t = {
+  rows : int;
+  cols : int;
+  src_col : int array;
+  dst_col : int array;
+  src_row : int array;
+  dst_row : int array;
+}
+
+let build grid pi =
+  let n = Grid.size grid in
+  if Array.length pi <> n then invalid_arg "Column_graph.build: size mismatch";
+  let src_col = Array.make n 0 in
+  let dst_col = Array.make n 0 in
+  let src_row = Array.make n 0 in
+  let dst_row = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let r, c = Grid.coord grid v in
+    let r', c' = Grid.coord grid pi.(v) in
+    src_row.(v) <- r;
+    src_col.(v) <- c;
+    dst_row.(v) <- r';
+    dst_col.(v) <- c'
+  done;
+  { rows = Grid.rows grid; cols = Grid.cols grid; src_col; dst_col; src_row; dst_row }
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let num_edges t = Array.length t.src_col
+
+let src_col t e = t.src_col.(e)
+
+let dst_col t e = t.dst_col.(e)
+
+let src_row t e = t.src_row.(e)
+
+let dst_row t e = t.dst_row.(e)
+
+let all_edge_ids t = List.init (num_edges t) (fun e -> e)
+
+let hk_edges t =
+  Array.init (num_edges t) (fun e -> (t.src_col.(e), t.dst_col.(e)))
+
+let edges_in_band t ~live ~lo ~hi =
+  let acc = ref [] in
+  for e = num_edges t - 1 downto 0 do
+    if live.(e) && t.src_row.(e) >= lo && t.src_row.(e) <= hi then
+      acc := e :: !acc
+  done;
+  !acc

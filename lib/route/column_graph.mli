@@ -1,0 +1,40 @@
+(** The paper's column bipartite multigraph [G^[a,b]].
+
+    For an [m×n] grid and permutation [π], the multigraph has the [n]
+    columns on both sides and one edge [j → j'] labelled [(i, i')] for every
+    qubit with [π(i,j) = (i',j')].  It is [m]-regular, so it decomposes into
+    [m] perfect matchings; restricting to source rows [a..b] gives the
+    banded subgraphs the locality-aware search scans.
+
+    Edges are indexed by the source vertex's flat grid index, so the label
+    arrays are total and O(1) to consult. *)
+
+type t
+
+val build : Qr_graph.Grid.t -> Qr_perm.Perm.t -> t
+
+val rows : t -> int
+(** [m] — also the multigraph's regularity degree. *)
+
+val cols : t -> int
+(** [n] — the number of vertices on each side. *)
+
+val num_edges : t -> int
+(** [m * n]. *)
+
+val src_col : t -> int -> int
+
+val dst_col : t -> int -> int
+
+val src_row : t -> int -> int
+
+val dst_row : t -> int -> int
+
+val all_edge_ids : t -> int list
+
+val hk_edges : t -> (int * int) array
+(** Endpoint pairs [(src_col, dst_col)] indexed by edge id, the form
+    {!Qr_bipartite.Hopcroft_karp} and {!Qr_bipartite.Decompose} consume. *)
+
+val edges_in_band : t -> live:bool array -> lo:int -> hi:int -> int list
+(** Live edge ids whose source row lies in [lo..hi] (inclusive). *)

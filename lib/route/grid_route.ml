@@ -1,0 +1,159 @@
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Decompose = Qr_bipartite.Decompose
+
+type sigmas = int array array
+
+type decompose_strategy = Extraction | Euler_split
+
+let sigmas_of_assignment cg ~matchings ~assigned_rows =
+  let m = Column_graph.rows cg and n = Column_graph.cols cg in
+  if not (Perm.is_permutation assigned_rows) || Array.length assigned_rows <> m
+  then invalid_arg "Grid_route.sigmas_of_assignment: bad row assignment";
+  if List.length matchings <> m then
+    invalid_arg "Grid_route.sigmas_of_assignment: need one matching per row";
+  let sigmas = Array.init n (fun _ -> Array.make m (-1)) in
+  List.iteri
+    (fun k matching ->
+      let row = assigned_rows.(k) in
+      Array.iteri
+        (fun j edge ->
+          let i = Column_graph.src_row cg edge in
+          if Column_graph.src_col cg edge <> j then
+            invalid_arg "Grid_route.sigmas_of_assignment: edge/column mismatch";
+          if sigmas.(j).(i) <> -1 then
+            invalid_arg "Grid_route.sigmas_of_assignment: qubit covered twice";
+          sigmas.(j).(i) <- row)
+        matching)
+    matchings;
+  Array.iter
+    (fun sigma ->
+      if not (Perm.is_permutation sigma) then
+        invalid_arg "Grid_route.sigmas_of_assignment: sigma not a permutation")
+    sigmas;
+  sigmas
+
+let check_sigmas grid pi sigmas =
+  let m = Grid.rows grid and n = Grid.cols grid in
+  Array.length sigmas = n
+  && Array.for_all (fun s -> Array.length s = m && Perm.is_permutation s) sigmas
+  &&
+  (* After round 1 the qubit from (i,j) sits at (sigmas.(j).(i), j); its
+     destination column must be unique within that row. *)
+  let seen = Array.make_matrix m n false in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    for i = 0 to m - 1 do
+      let r = sigmas.(j).(i) in
+      let _, c' = Grid.coord grid pi.(Grid.index grid i j) in
+      if seen.(r).(c') then ok := false else seen.(r).(c') <- true
+    done
+  done;
+  !ok
+
+(* Merge per-line local schedules into grid-wide layers: layer [t] of the
+   phase is the union of every line's layer [t].  [lift line (a, b)] maps a
+   local adjacent pair to a grid edge. *)
+let merge_lines lines ~lift =
+  let rec peel lines acc =
+    let layer = ref [] in
+    let rest =
+      List.filter_map
+        (fun (line, layers) ->
+          match layers with
+          | [] -> None
+          | first :: tail ->
+              List.iter (fun pair -> layer := lift line pair :: !layer) first;
+              if tail = [] then None else Some (line, tail))
+        lines
+    in
+    if !layer = [] then List.rev acc
+    else peel rest (Array.of_list !layer :: acc)
+  in
+  peel lines []
+
+let apply_layers token_at layers =
+  List.iter
+    (fun layer ->
+      Array.iter
+        (fun (u, v) ->
+          let tmp = token_at.(u) in
+          token_at.(u) <- token_at.(v);
+          token_at.(v) <- tmp)
+        layer)
+    layers
+
+let route_rounds grid pi sigmas =
+  if not (check_sigmas grid pi sigmas) then
+    invalid_arg "Grid_route.route_with_sigmas: invalid sigmas";
+  let m = Grid.rows grid and n = Grid.cols grid in
+  let token_at = Array.init (Grid.size grid) (fun v -> v) in
+  (* Round 1: columns, qubit at (i,j) goes to row sigmas.(j).(i). *)
+  let column_lines =
+    List.init n (fun j ->
+        let dests = Array.init m (fun i -> sigmas.(j).(i)) in
+        (j, Path_route.route_min_parity dests))
+  in
+  let round1 =
+    merge_lines column_lines ~lift:(fun j (a, b) ->
+        (Grid.index grid a j, Grid.index grid b j))
+  in
+  apply_layers token_at round1;
+  (* Round 2: rows, to destination columns. *)
+  let row_lines =
+    List.init m (fun r ->
+        let dests =
+          Array.init n (fun j ->
+              let v = token_at.(Grid.index grid r j) in
+              snd (Grid.coord grid pi.(v)))
+        in
+        (r, Path_route.route_min_parity dests))
+  in
+  let round2 =
+    merge_lines row_lines ~lift:(fun r (a, b) ->
+        (Grid.index grid r a, Grid.index grid r b))
+  in
+  apply_layers token_at round2;
+  (* Round 3: columns, to destination rows. *)
+  let column_lines' =
+    List.init n (fun j ->
+        let dests =
+          Array.init m (fun i ->
+              let v = token_at.(Grid.index grid i j) in
+              let r', c' = Grid.coord grid pi.(v) in
+              assert (c' = j);
+              r')
+        in
+        (j, Path_route.route_min_parity dests))
+  in
+  let round3 =
+    merge_lines column_lines' ~lift:(fun j (a, b) ->
+        (Grid.index grid a j, Grid.index grid b j))
+  in
+  apply_layers token_at round3;
+  (* Every token must have reached its destination. *)
+  Array.iteri (fun v dst -> assert (token_at.(dst) = v)) pi;
+  (round1, round2, round3)
+
+let route_with_sigmas grid pi sigmas =
+  let round1, round2, round3 = route_rounds grid pi sigmas in
+  Schedule.concat round1 (Schedule.concat round2 round3)
+
+let round_depths grid pi sigmas =
+  let round1, round2, round3 = route_rounds grid pi sigmas in
+  (Schedule.depth round1, Schedule.depth round2, Schedule.depth round3)
+
+let naive_sigmas ?(strategy = Extraction) grid pi =
+  let cg = Column_graph.build grid pi in
+  let nl = Column_graph.cols cg in
+  let edges = Column_graph.hk_edges cg in
+  let matchings =
+    match strategy with
+    | Extraction -> Decompose.by_extraction ~nl ~nr:nl ~edges
+    | Euler_split -> Decompose.by_euler_split ~nl ~nr:nl ~edges
+  in
+  let assigned_rows = Array.init (Column_graph.rows cg) (fun k -> k) in
+  sigmas_of_assignment cg ~matchings ~assigned_rows
+
+let route_naive ?strategy grid pi =
+  route_with_sigmas grid pi (naive_sigmas ?strategy grid pi)

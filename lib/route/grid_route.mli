@@ -1,0 +1,51 @@
+(** The 3-round GridRoute of Alon–Chung–Graham, parameterized by the
+    column-phase permutations [σ_1..σ_n].
+
+    Round 1 routes every column [j] in parallel, sending the qubit at row
+    [i] to row [σ_j(i)]; round 2 routes every row in parallel to destination
+    columns; round 3 routes every column to destination rows.  Any family of
+    [σ]s derived from a perfect-matching decomposition of the column
+    multigraph makes rounds 2–3 well-defined ({!sigmas_of_assignment}); the
+    naive algorithm uses an arbitrary decomposition with the arbitrary
+    assignment "k-th matching → row k", which is exactly the baseline the
+    paper's locality-aware selection improves on. *)
+
+type sigmas = int array array
+(** [sigmas.(j).(i)] is the round-1 target row of the qubit starting at
+    [(i, j)]; each [sigmas.(j)] is a permutation of rows. *)
+
+val sigmas_of_assignment :
+  Column_graph.t -> matchings:int array list -> assigned_rows:int array -> sigmas
+(** Given perfect matchings of the column multigraph (each an array mapping
+    a column to its matched edge id) and [assigned_rows.(k)], the grid row
+    assigned to matching [k], derive the [σ]s.  @raise Invalid_argument if
+    [assigned_rows] is not a permutation of the rows or the matchings do
+    not partition the qubits of each column. *)
+
+val check_sigmas : Qr_graph.Grid.t -> Qr_perm.Perm.t -> sigmas -> bool
+(** The GridRoute precondition: after round 1, destination columns are
+    distinct within every row. *)
+
+val route_with_sigmas :
+  Qr_graph.Grid.t -> Qr_perm.Perm.t -> sigmas -> Schedule.t
+(** Run the three rounds with odd–even transposition on each line.  The
+    result realizes [π] exactly (asserted internally).
+    @raise Invalid_argument when {!check_sigmas} fails. *)
+
+val round_depths :
+  Qr_graph.Grid.t -> Qr_perm.Perm.t -> sigmas -> int * int * int
+(** Depth of each of the three rounds separately (columns, rows, columns) —
+    the breakdown that shows where a sigma family spends its budget: a
+    locality-aware choice empties rounds 1 and 3 on row-local
+    permutations. *)
+
+type decompose_strategy = Extraction | Euler_split
+
+val naive_sigmas :
+  ?strategy:decompose_strategy -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> sigmas
+(** Arbitrary decomposition, arbitrary row assignment (matching [k] → row
+    [k]) — the baseline of [1].  Default strategy: {!Extraction}. *)
+
+val route_naive :
+  ?strategy:decompose_strategy -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
+(** [route_with_sigmas] over {!naive_sigmas}. *)

@@ -1,0 +1,19 @@
+(** The 1-D embedding baseline: route the grid as one long path.
+
+    Embed the grid boustrophedon ("snake"): row 0 left-to-right, row 1
+    right-to-left, … — consecutive snake positions are always grid
+    neighbours.  Any permutation is then routed with a single odd–even
+    transposition pass over the whole snake.
+
+    Depth is Θ(mn) in the worst case versus GridRoute's O(m + n); the
+    baseline exists to quantify what the 2-D structure buys (an ablation in
+    the benchmarks), and because for 1×n and m×1 grids it {e is} the
+    natural optimal router. *)
+
+val snake_order : Qr_graph.Grid.t -> int array
+(** [snake_order g].(k) is the flat grid index of the k-th snake position;
+    consecutive entries are grid-adjacent. *)
+
+val route : Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
+(** Route by odd–even transposition on the snake.  Valid on the grid and
+    realizes the permutation (asserted). *)

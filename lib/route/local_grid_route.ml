@@ -1,0 +1,108 @@
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Grid_perm = Qr_perm.Grid_perm
+module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
+module Decompose = Qr_bipartite.Decompose
+module Bottleneck = Qr_bipartite.Bottleneck
+
+type discovery = Doubling | Fixed_band of int | Whole
+
+type assignment = Mcbbm | Arbitrary
+
+let delta cg matching r =
+  Array.fold_left
+    (fun acc edge ->
+      acc
+      + abs (Column_graph.src_row cg edge - r)
+      + abs (Column_graph.dst_row cg edge - r))
+    0 matching
+
+(* Extract perfect matchings from the live edges with source row in
+   [lo..hi] until none remains; kill the edges of each matching found. *)
+let drain_band cg ~live ~lo ~hi found =
+  let n = Column_graph.cols cg in
+  let continue_ = ref true in
+  while !continue_ do
+    let band = Column_graph.edges_in_band cg ~live ~lo ~hi in
+    if List.length band < n then continue_ := false
+    else begin
+      let sub = Array.of_list band in
+      let sub_edges =
+        Array.map
+          (fun e -> (Column_graph.src_col cg e, Column_graph.dst_col cg e))
+          sub
+      in
+      let result = Hopcroft_karp.solve ~nl:n ~nr:n ~edges:sub_edges in
+      if result.size < n then continue_ := false
+      else begin
+        let matching = Array.map (fun k -> sub.(k)) result.left_match in
+        Array.iter (fun e -> live.(e) <- false) matching;
+        found := matching :: !found
+      end
+    end
+  done
+
+let discover_doubling ?(initial_width = 0) cg =
+  let m = Column_graph.rows cg in
+  let live = Array.make (Column_graph.num_edges cg) true in
+  let found = ref [] in
+  let w = ref initial_width in
+  while List.length !found < m do
+    let r0 = ref 0 in
+    while !r0 < m && List.length !found < m do
+      let hi = min (!r0 + !w) (m - 1) in
+      drain_band cg ~live ~lo:!r0 ~hi found;
+      r0 := !r0 + !w + 1
+    done;
+    w := if !w = 0 then 1 else 2 * !w
+  done;
+  (* Narrow-band matchings first: they carry the locality. *)
+  List.rev !found
+
+let discover_whole cg =
+  let n = Column_graph.cols cg in
+  Decompose.by_extraction ~nl:n ~nr:n ~edges:(Column_graph.hk_edges cg)
+
+let discover_matchings discovery cg =
+  match discovery with
+  | Doubling -> discover_doubling cg
+  | Fixed_band h ->
+      if h <= 0 then invalid_arg "Local_grid_route: band height must be positive";
+      discover_doubling ~initial_width:(h - 1) cg
+  | Whole -> discover_whole cg
+
+let assign_rows assignment cg matchings =
+  let m = Column_graph.rows cg in
+  match assignment with
+  | Arbitrary -> Array.init m (fun k -> k)
+  | Mcbbm ->
+      let weights =
+        Array.of_list
+          (List.map
+             (fun matching -> Array.init m (fun r -> delta cg matching r))
+             matchings)
+      in
+      let solution = Bottleneck.solve_complete ~weights in
+      let assigned = solution.left_match in
+      (* A complete bipartite graph always has a perfect matching. *)
+      Array.iter (fun r -> assert (r >= 0)) assigned;
+      assigned
+
+let sigmas ?(discovery = Doubling) ?(assignment = Mcbbm) grid pi =
+  let cg = Column_graph.build grid pi in
+  let matchings = discover_matchings discovery cg in
+  let assigned_rows = assign_rows assignment cg matchings in
+  Grid_route.sigmas_of_assignment cg ~matchings ~assigned_rows
+
+let route ?discovery ?assignment grid pi =
+  Grid_route.route_with_sigmas grid pi (sigmas ?discovery ?assignment grid pi)
+
+let route_best_orientation ?discovery ?assignment grid pi =
+  let direct = route ?discovery ?assignment grid pi in
+  let grid_t = Grid.transpose grid in
+  let pi_t = Grid_perm.transpose grid pi in
+  let transposed = route ?discovery ?assignment grid_t pi_t in
+  let lifted =
+    Schedule.map_vertices (Grid_perm.untranspose_vertex grid) transposed
+  in
+  if Schedule.depth lifted < Schedule.depth direct then lifted else direct

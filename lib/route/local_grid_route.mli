@@ -1,0 +1,57 @@
+(** The paper's locality-aware routing algorithm (Algorithms 1 and 2).
+
+    Two ideas refine the naive GridRoute baseline:
+
+    - {b Banded discovery} (Algorithm 2, lines 3–18): a doubling search over
+      row windows [w = 0, 1, 2, 4, …]; within each band [[r, r+w]] perfect
+      matchings of the column multigraph are extracted using only edges
+      whose source row lies in the band, so matchings found early touch only
+      nearby rows.
+    - {b Bottleneck row assignment} (lines 19–20): each matching [M] is
+      assigned to a grid row [r] by solving MCBBM on the complete bipartite
+      graph weighted by [Δ(M, r) = Σ_j |i_j − r| + Σ_j |i'_j − r|],
+      minimizing the worst row-detour any matching's qubits must take.
+
+    Both choices are independently switchable so the ablation benchmarks can
+    isolate their contributions. *)
+
+type discovery =
+  | Doubling  (** The paper's banded doubling search (w = 0, 1, 2, 4, …). *)
+  | Fixed_band of int
+      (** Start from bands of the given height instead of single rows, then
+          double as usual — for ablating the window schedule.  Height must
+          be positive. *)
+  | Whole  (** Extract from the whole multigraph (locality-blind). *)
+
+type assignment =
+  | Mcbbm  (** Bottleneck assignment by the Δ metric. *)
+  | Arbitrary  (** Matching [k] → row [k] (the naive choice). *)
+
+val delta : Column_graph.t -> int array -> int -> int
+(** [delta cg matching r] is the paper's Δ(M, r). *)
+
+val discover_matchings : discovery -> Column_graph.t -> int array list
+(** Decompose the column multigraph into [m] perfect matchings (edge-id
+    arrays indexed by column), banded or not.  The result always partitions
+    the edge set ({!Qr_bipartite.Decompose.validate} holds). *)
+
+val assign_rows : assignment -> Column_graph.t -> int array list -> int array
+(** Row assigned to each matching, in list order. *)
+
+val sigmas :
+  ?discovery:discovery -> ?assignment:assignment ->
+  Qr_graph.Grid.t -> Qr_perm.Perm.t -> Grid_route.sigmas
+(** Column-phase permutations per Algorithm 2 (default: [Doubling],
+    [Mcbbm]). *)
+
+val route :
+  ?discovery:discovery -> ?assignment:assignment ->
+  Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
+(** Algorithm 2: LocalGridRoute on the grid as given. *)
+
+val route_best_orientation :
+  ?discovery:discovery -> ?assignment:assignment ->
+  Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
+(** Algorithm 1 (Main Procedure): run LocalGridRoute on [(G, π)] and on the
+    transpose [(G^T, π^T)], lift the transposed schedule back, and keep the
+    shallower one. *)

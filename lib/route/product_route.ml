@@ -1,0 +1,215 @@
+module Graph = Qr_graph.Graph
+module Product = Qr_graph.Product
+module Bfs = Qr_graph.Bfs
+module Perm = Qr_perm.Perm
+module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
+module Decompose = Qr_bipartite.Decompose
+module Bottleneck = Qr_bipartite.Bottleneck
+
+type factor_router = Graph.t -> Perm.t -> Schedule.t
+
+(* Edge [x] of the generalized column multigraph is the qubit starting at
+   flat index [x]: endpoints are G2-vertices, labels are G1-vertices. *)
+type colgraph = {
+  n1 : int;
+  n2 : int;
+  src_l : int array; (* G1 label of the source, per edge *)
+  dst_l : int array;
+  src_r : int array; (* G2 endpoint (left side), per edge *)
+  dst_r : int array;
+}
+
+let build_colgraph product pi =
+  let n1 = Graph.num_vertices (Product.left product) in
+  let n2 = Graph.num_vertices (Product.right product) in
+  let total = n1 * n2 in
+  if Array.length pi <> total then invalid_arg "Product_route: size mismatch";
+  let src_l = Array.make total 0 and dst_l = Array.make total 0 in
+  let src_r = Array.make total 0 and dst_r = Array.make total 0 in
+  for x = 0 to total - 1 do
+    let u, v = Product.coord product x in
+    let u', v' = Product.coord product pi.(x) in
+    src_l.(x) <- u;
+    dst_l.(x) <- u';
+    src_r.(x) <- v;
+    dst_r.(x) <- v'
+  done;
+  { n1; n2; src_l; dst_l; src_r; dst_r }
+
+let hk_edges cg = Array.init (Array.length cg.src_r) (fun x -> (cg.src_r.(x), cg.dst_r.(x)))
+
+let drain_band cg ~live ~member found =
+  let n2 = cg.n2 in
+  let continue_ = ref true in
+  while !continue_ do
+    let band = ref [] in
+    for x = Array.length cg.src_l - 1 downto 0 do
+      if live.(x) && member cg.src_l.(x) then band := x :: !band
+    done;
+    if List.length !band < n2 then continue_ := false
+    else begin
+      let sub = Array.of_list !band in
+      let sub_edges = Array.map (fun x -> (cg.src_r.(x), cg.dst_r.(x))) sub in
+      let result = Hopcroft_karp.solve ~nl:n2 ~nr:n2 ~edges:sub_edges in
+      if result.size < n2 then continue_ := false
+      else begin
+        let matching = Array.map (fun k -> sub.(k)) result.left_match in
+        Array.iter (fun x -> live.(x) <- false) matching;
+        found := matching :: !found
+      end
+    end
+  done
+
+let discover_doubling cg =
+  let n1 = cg.n1 in
+  let live = Array.make (Array.length cg.src_l) true in
+  let found = ref [] in
+  let w = ref 0 in
+  while List.length !found < n1 do
+    let r0 = ref 0 in
+    while !r0 < n1 && List.length !found < n1 do
+      let hi = min (!r0 + !w) (n1 - 1) in
+      let lo = !r0 in
+      drain_band cg ~live ~member:(fun u -> u >= lo && u <= hi) found;
+      r0 := !r0 + !w + 1
+    done;
+    w := if !w = 0 then 1 else 2 * !w
+  done;
+  List.rev !found
+
+let discover_whole cg =
+  Decompose.by_extraction ~nl:cg.n2 ~nr:cg.n2 ~edges:(hk_edges cg)
+
+let assign_mcbbm cg dist1 matchings =
+  let n1 = cg.n1 in
+  let delta matching r =
+    Array.fold_left
+      (fun acc x -> acc + dist1 cg.src_l.(x) r + dist1 cg.dst_l.(x) r)
+      0 matching
+  in
+  let weights =
+    Array.of_list
+      (List.map
+         (fun matching -> Array.init n1 (fun r -> delta matching r))
+         matchings)
+  in
+  (Bottleneck.solve_complete ~weights).left_match
+
+let merge_copies lines ~lift =
+  let rec peel lines acc =
+    let layer = ref [] in
+    let rest =
+      List.filter_map
+        (fun (copy, layers) ->
+          match layers with
+          | [] -> None
+          | first :: tail ->
+              Array.iter
+                (fun (a, b) -> layer := (lift copy a, lift copy b) :: !layer)
+                first;
+              if tail = [] then None else Some (copy, tail))
+        lines
+    in
+    if !layer = [] then List.rev acc
+    else peel rest (Array.of_list !layer :: acc)
+  in
+  peel lines []
+
+let apply_layers token_at layers =
+  List.iter
+    (fun layer ->
+      Array.iter
+        (fun (u, v) ->
+          let tmp = token_at.(u) in
+          token_at.(u) <- token_at.(v);
+          token_at.(v) <- tmp)
+        layer)
+    layers
+
+let route ?(locality = true) ~route1 ~route2 product pi =
+  let g1 = Product.left product and g2 = Product.right product in
+  let n1 = Graph.num_vertices g1 and n2 = Graph.num_vertices g2 in
+  let cg = build_colgraph product pi in
+  let matchings = if locality then discover_doubling cg else discover_whole cg in
+  let assigned =
+    if locality then begin
+      let table = Bfs.all_pairs g1 in
+      assign_mcbbm cg (fun a b -> table.(a).(b)) matchings
+    end
+    else Array.init n1 (fun k -> k)
+  in
+  (* sigma: per G2-copy v, the G1-destination of the qubit starting at
+     (u, v) in round 1. *)
+  let sigma = Array.make_matrix n2 n1 (-1) in
+  List.iteri
+    (fun k matching ->
+      let r = assigned.(k) in
+      Array.iteri
+        (fun v x ->
+          assert (cg.src_r.(x) = v);
+          let u = cg.src_l.(x) in
+          assert (sigma.(v).(u) = -1);
+          sigma.(v).(u) <- r)
+        matching)
+    matchings;
+  Array.iter
+    (fun s ->
+      if not (Perm.is_permutation s) then
+        invalid_arg "Product_route: decomposition did not yield permutations")
+    sigma;
+  let token_at = Array.init (n1 * n2) (fun x -> x) in
+  (* Round 1: inside each copy of G1 (fixed G2-vertex v). *)
+  let round1 =
+    let lines =
+      List.init n2 (fun v -> (v, route1 g1 (Perm.check (Array.copy sigma.(v)))))
+    in
+    merge_copies lines ~lift:(fun v u -> Product.index product u v)
+  in
+  apply_layers token_at round1;
+  (* Round 2: inside each copy of G2 (fixed G1-vertex u). *)
+  let round2 =
+    let lines =
+      List.init n1 (fun u ->
+          let dests =
+            Array.init n2 (fun v ->
+                let x = token_at.(Product.index product u v) in
+                cg.dst_r.(x))
+          in
+          (u, route2 g2 (Perm.check dests)))
+    in
+    merge_copies lines ~lift:(fun u v -> Product.index product u v)
+  in
+  apply_layers token_at round2;
+  (* Round 3: inside each copy of G1 again. *)
+  let round3 =
+    let lines =
+      List.init n2 (fun v ->
+          let dests =
+            Array.init n1 (fun u ->
+                let x = token_at.(Product.index product u v) in
+                assert (cg.dst_r.(x) = v);
+                cg.dst_l.(x))
+          in
+          (v, route1 g1 (Perm.check dests)))
+    in
+    merge_copies lines ~lift:(fun v u -> Product.index product u v)
+  in
+  apply_layers token_at round3;
+  Array.iteri (fun x dst -> assert (token_at.(dst) = x)) pi;
+  Schedule.concat round1 (Schedule.concat round2 round3)
+
+let route_best_orientation ?locality ~route1 ~route2 product pi =
+  let direct = route ?locality ~route1 ~route2 product pi in
+  let mirrored = Product.transpose product in
+  let total = Product.size product in
+  let pi_t = Array.make total 0 in
+  for x = 0 to total - 1 do
+    pi_t.(Product.transpose_vertex product x) <- Product.transpose_vertex product pi.(x)
+  done;
+  let swapped =
+    route ?locality ~route1:route2 ~route2:route1 mirrored (Perm.check pi_t)
+  in
+  let lifted =
+    Schedule.map_vertices (Product.transpose_vertex mirrored) swapped
+  in
+  if Schedule.depth lifted < Schedule.depth direct then lifted else direct

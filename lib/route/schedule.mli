@@ -1,0 +1,75 @@
+(** Routing schedules in the routing-via-matchings model.
+
+    A schedule is a sequence of {e layers}; each layer is a set of
+    vertex-disjoint SWAPs executed in parallel, i.e. a matching of the
+    coupling graph.  The schedule's {e depth} (layer count) is the quantity
+    the paper minimizes — each layer adds one SWAP-round to the physical
+    circuit — and its {e size} is the total SWAP count, the serial
+    token-swapping objective. *)
+
+type layer = (int * int) array
+(** Disjoint swap pairs; order within a layer is irrelevant. *)
+
+type t = layer list
+(** Layers in execution order. *)
+
+val empty : t
+
+val depth : t -> int
+(** Number of layers. *)
+
+val size : t -> int
+(** Total number of swaps. *)
+
+val concat : t -> t -> t
+(** Sequential composition: run the first schedule, then the second. *)
+
+val layer_is_matching : n:int -> layer -> bool
+(** Endpoint-disjointness and range check (graph-independent). *)
+
+val is_valid : Qr_graph.Graph.t -> t -> bool
+(** Every layer is a matching of the graph: endpoints disjoint, every pair
+    an edge. *)
+
+val apply : n:int -> t -> Qr_perm.Perm.t
+(** The permutation the schedule realizes on [n] vertices: token starting at
+    [v] ends at [(apply ~n t).(v)].  @raise Invalid_argument if a layer
+    reuses a vertex or indexes out of range. *)
+
+val realizes : n:int -> t -> Qr_perm.Perm.t -> bool
+(** [realizes ~n t p] iff [apply ~n t = p]. *)
+
+val inverse : t -> t
+(** Reversed layer order; realizes the inverse permutation (swaps are
+    involutions). *)
+
+val of_swaps : (int * int) list -> t
+(** One swap per layer — the serial embedding used to lift token-swapping
+    outputs. *)
+
+val swaps : t -> (int * int) list
+(** All swaps in execution order (layer by layer). *)
+
+val compact : n:int -> t -> t
+(** Greedy ASAP re-layering: each swap moves to the earliest layer after the
+    last layer that touched either endpoint.  Preserves the realized
+    permutation (only commuting swaps are reordered), never increases depth,
+    and keeps every swap (size unchanged).  Used both as a post-pass
+    (ablation) and to parallelize serial swap lists. *)
+
+val map_vertices : (int -> int) -> t -> t
+(** Relabel every endpoint, e.g. to lift a schedule computed on the
+    transposed grid (or on a factor of a product) back to the host graph. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Compact text serialization: one layer per line, swaps as ["u-v"]
+    separated by spaces; the empty schedule is the empty string.  Stable
+    format, round-trips with {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string}'s format.  The error names the offending line. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)

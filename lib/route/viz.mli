@@ -1,0 +1,32 @@
+(** Text renderings of grids, permutations and schedules — debugging aids
+    and export formats (ASCII for terminals, DOT for Graphviz).
+
+    Nothing here affects routing; every function is a pure formatter.  The
+    CLI's [--show] paths and the examples use the ASCII forms; the DOT
+    forms are for papers/slides. *)
+
+val grid_ascii : Qr_graph.Grid.t -> string
+(** The coupling grid as an ASCII lattice of [o] vertices with [-]/[|]
+    edges. *)
+
+val permutation_ascii : Qr_graph.Grid.t -> Qr_perm.Perm.t -> string
+(** One cell per vertex showing the destination, displaced cells marked
+    with [*]: a quick visual of workload locality. *)
+
+val layer_ascii : Qr_graph.Grid.t -> Schedule.layer -> string
+(** The lattice with the layer's swaps drawn as [=] (horizontal) and [#]
+    (vertical) on the swapped edges. *)
+
+val schedule_ascii : Qr_graph.Grid.t -> Schedule.t -> string
+(** All layers of a schedule, numbered, one lattice each. *)
+
+val occupancy_ascii : Qr_graph.Grid.t -> Schedule.t -> string
+(** A heatmap of how many swaps touch each vertex over the whole schedule
+    (digits, [9+] capped) — shows routing hotspots. *)
+
+val graph_dot : Qr_graph.Graph.t -> string
+(** The coupling graph in Graphviz DOT format. *)
+
+val schedule_dot : Qr_graph.Grid.t -> Schedule.t -> string
+(** DOT rendering of the grid with swap edges colored by the layer index
+    in which they are (first) used. *)

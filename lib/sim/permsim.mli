@@ -1,0 +1,30 @@
+(** Token-level simulation of routing schedules.
+
+    Cheap (O(size) per run) classical simulation used everywhere the
+    statevector would be overkill: it tracks which original vertex's token
+    occupies each position as layers execute, and is the oracle for
+    "does this schedule realize this permutation" on grids of any size. *)
+
+type snapshot = int array
+(** [snapshot.(v)] is the token (identified by its start vertex) currently
+    on [v]. *)
+
+val trace : n:int -> Qr_route.Schedule.t -> snapshot list
+(** Configurations after each layer, starting with the initial one; length
+    is [depth + 1]. *)
+
+val final : n:int -> Qr_route.Schedule.t -> snapshot
+
+val realized : n:int -> Qr_route.Schedule.t -> Qr_perm.Perm.t
+(** The permutation the schedule realizes (same as
+    {!Qr_route.Schedule.apply}, re-derived by token simulation — the two
+    are cross-checked in tests). *)
+
+val max_token_travel :
+  Qr_graph.Distance.t -> n:int -> Qr_route.Schedule.t -> int
+(** The longest total distance any single token is moved — compared against
+    its displacement it measures routing detours. *)
+
+val pp_grid_snapshot :
+  Qr_graph.Grid.t -> Format.formatter -> snapshot -> unit
+(** Render a configuration as a rows × cols table of token ids. *)

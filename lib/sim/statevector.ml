@@ -1,0 +1,221 @@
+module Gate = Qr_circuit.Gate
+module Circuit = Qr_circuit.Circuit
+module Rng = Qr_util.Rng
+
+type t = { n : int; re : float array; im : float array }
+
+let num_qubits t = t.n
+
+let dim t = Array.length t.re
+
+let check_qubits n =
+  if n < 0 || n > 20 then invalid_arg "Statevector: qubit count out of range"
+
+let zero_state n =
+  check_qubits n;
+  let d = 1 lsl n in
+  let re = Array.make d 0. and im = Array.make d 0. in
+  re.(0) <- 1.;
+  { n; re; im }
+
+let basis_state n k =
+  check_qubits n;
+  let d = 1 lsl n in
+  if k < 0 || k >= d then invalid_arg "Statevector.basis_state";
+  let re = Array.make d 0. and im = Array.make d 0. in
+  re.(k) <- 1.;
+  { n; re; im }
+
+let norm t =
+  let acc = ref 0. in
+  for i = 0 to dim t - 1 do
+    acc := !acc +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+  done;
+  sqrt !acc
+
+let random_state rng n =
+  check_qubits n;
+  let d = 1 lsl n in
+  (* Box–Muller pairs give rotation-invariant (Haar-like) amplitudes. *)
+  let gaussian () =
+    let u1 = max 1e-12 (Rng.float rng 1.) and u2 = Rng.float rng 1. in
+    sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+  in
+  let re = Array.init d (fun _ -> gaussian ()) in
+  let im = Array.init d (fun _ -> gaussian ()) in
+  let state = { n; re; im } in
+  let scale = 1. /. norm state in
+  for i = 0 to d - 1 do
+    re.(i) <- re.(i) *. scale;
+    im.(i) <- im.(i) *. scale
+  done;
+  state
+
+let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+
+let amplitude t k =
+  if k < 0 || k >= dim t then invalid_arg "Statevector.amplitude";
+  (t.re.(k), t.im.(k))
+
+(* Apply a 2×2 complex matrix to qubit [q]: matrix rows (m00 m01; m10 m11),
+   entries as (re, im) pairs. *)
+let apply_one t q (m00r, m00i) (m01r, m01i) (m10r, m10i) (m11r, m11i) =
+  let d = dim t in
+  let bit = 1 lsl q in
+  let re = t.re and im = t.im in
+  let i = ref 0 in
+  while !i < d do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let a_r = re.(!i) and a_i = im.(!i) in
+      let b_r = re.(j) and b_i = im.(j) in
+      re.(!i) <- (m00r *. a_r) -. (m00i *. a_i) +. (m01r *. b_r) -. (m01i *. b_i);
+      im.(!i) <- (m00r *. a_i) +. (m00i *. a_r) +. (m01r *. b_i) +. (m01i *. b_r);
+      re.(j) <- (m10r *. a_r) -. (m10i *. a_i) +. (m11r *. b_r) -. (m11i *. b_i);
+      im.(j) <- (m10r *. a_i) +. (m10i *. a_r) +. (m11r *. b_i) +. (m11i *. b_r)
+    end;
+    incr i
+  done
+
+(* Multiply the amplitudes selected by [select] by the phase e^{iθ}. *)
+let apply_phase t select theta =
+  let c = cos theta and s = sin theta in
+  for i = 0 to dim t - 1 do
+    if select i then begin
+      let a_r = t.re.(i) and a_i = t.im.(i) in
+      t.re.(i) <- (c *. a_r) -. (s *. a_i);
+      t.im.(i) <- (c *. a_i) +. (s *. a_r)
+    end
+  done
+
+let apply_gate t gate =
+  let sqrt_half = sqrt 0.5 in
+  match gate with
+  | Gate.One (Gate.H, q) ->
+      apply_one t q (sqrt_half, 0.) (sqrt_half, 0.) (sqrt_half, 0.)
+        (-.sqrt_half, 0.)
+  | Gate.One (Gate.X, q) -> apply_one t q (0., 0.) (1., 0.) (1., 0.) (0., 0.)
+  | Gate.One (Gate.Y, q) -> apply_one t q (0., 0.) (0., -1.) (0., 1.) (0., 0.)
+  | Gate.One (Gate.Z, q) ->
+      apply_phase t (fun i -> i land (1 lsl q) <> 0) Float.pi
+  | Gate.One (Gate.S, q) ->
+      apply_phase t (fun i -> i land (1 lsl q) <> 0) (Float.pi /. 2.)
+  | Gate.One (Gate.Sdg, q) ->
+      apply_phase t (fun i -> i land (1 lsl q) <> 0) (-.Float.pi /. 2.)
+  | Gate.One (Gate.T, q) ->
+      apply_phase t (fun i -> i land (1 lsl q) <> 0) (Float.pi /. 4.)
+  | Gate.One (Gate.Tdg, q) ->
+      apply_phase t (fun i -> i land (1 lsl q) <> 0) (-.Float.pi /. 4.)
+  | Gate.One (Gate.Rx theta, q) ->
+      let c = cos (theta /. 2.) and s = sin (theta /. 2.) in
+      apply_one t q (c, 0.) (0., -.s) (0., -.s) (c, 0.)
+  | Gate.One (Gate.Ry theta, q) ->
+      let c = cos (theta /. 2.) and s = sin (theta /. 2.) in
+      apply_one t q (c, 0.) (-.s, 0.) (s, 0.) (c, 0.)
+  | Gate.One (Gate.Rz theta, q) ->
+      let bit = 1 lsl q in
+      apply_phase t (fun i -> i land bit = 0) (-.theta /. 2.);
+      apply_phase t (fun i -> i land bit <> 0) (theta /. 2.)
+  | Gate.Two (Gate.CX, c, x) ->
+      let cbit = 1 lsl c and xbit = 1 lsl x in
+      let d = dim t in
+      for i = 0 to d - 1 do
+        (* Visit each swapped pair once via the xbit = 0 member. *)
+        if i land cbit <> 0 && i land xbit = 0 then begin
+          let j = i lor xbit in
+          let tmp_r = t.re.(i) and tmp_i = t.im.(i) in
+          t.re.(i) <- t.re.(j);
+          t.im.(i) <- t.im.(j);
+          t.re.(j) <- tmp_r;
+          t.im.(j) <- tmp_i
+        end
+      done
+  | Gate.Two (Gate.CZ, a, b) ->
+      let abit = 1 lsl a and bbit = 1 lsl b in
+      apply_phase t (fun i -> i land abit <> 0 && i land bbit <> 0) Float.pi
+  | Gate.Two (Gate.CP theta, a, b) ->
+      let abit = 1 lsl a and bbit = 1 lsl b in
+      apply_phase t (fun i -> i land abit <> 0 && i land bbit <> 0) theta
+  | Gate.Two (Gate.RZZ theta, a, b) ->
+      let abit = 1 lsl a and bbit = 1 lsl b in
+      let same i = (i land abit <> 0) = (i land bbit <> 0) in
+      apply_phase t same (-.theta /. 2.);
+      apply_phase t (fun i -> not (same i)) (theta /. 2.)
+  | Gate.Two (Gate.SWAP, a, b) ->
+      let abit = 1 lsl a and bbit = 1 lsl b in
+      for i = 0 to dim t - 1 do
+        if i land abit <> 0 && i land bbit = 0 then begin
+          let j = (i lxor abit) lor bbit in
+          let tmp_r = t.re.(i) and tmp_i = t.im.(i) in
+          t.re.(i) <- t.re.(j);
+          t.im.(i) <- t.im.(j);
+          t.re.(j) <- tmp_r;
+          t.im.(j) <- tmp_i
+        end
+      done
+
+let run circuit state =
+  if Circuit.num_qubits circuit <> state.n then
+    invalid_arg "Statevector.run: qubit-count mismatch";
+  let out = copy state in
+  List.iter (apply_gate out) (Circuit.gates circuit);
+  out
+
+let run_from_zero circuit = run circuit (zero_state (Circuit.num_qubits circuit))
+
+let permute_qubits t p =
+  if Array.length p <> t.n || not (Qr_perm.Perm.is_permutation p) then
+    invalid_arg "Statevector.permute_qubits: bad permutation";
+  let d = dim t in
+  let re = Array.make d 0. and im = Array.make d 0. in
+  for i = 0 to d - 1 do
+    let j = ref 0 in
+    for q = 0 to t.n - 1 do
+      if i land (1 lsl q) <> 0 then j := !j lor (1 lsl p.(q))
+    done;
+    re.(!j) <- t.re.(i);
+    im.(!j) <- t.im.(i)
+  done;
+  { n = t.n; re; im }
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Statevector.fidelity: size mismatch";
+  let dot_r = ref 0. and dot_i = ref 0. in
+  for i = 0 to dim a - 1 do
+    (* ⟨a|b⟩ = Σ conj(a_i)·b_i *)
+    dot_r := !dot_r +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    dot_i := !dot_i +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  (!dot_r *. !dot_r) +. (!dot_i *. !dot_i)
+
+let approx_equal ?(tol = 1e-9) a b = fidelity a b >= 1. -. tol
+
+let measure_probabilities t =
+  Array.init (dim t) (fun i -> (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+
+let sample rng t =
+  let p = measure_probabilities t in
+  let total = Array.fold_left ( +. ) 0. p in
+  let x = ref (Rng.float rng total) in
+  let result = ref (dim t - 1) in
+  (try
+     Array.iteri
+       (fun i q ->
+         x := !x -. q;
+         if !x <= 0. then begin
+           result := i;
+           raise Exit
+         end)
+       p
+   with Exit -> ());
+  !result
+
+let sample_counts rng t ~shots =
+  if shots < 0 then invalid_arg "Statevector.sample_counts: negative shots";
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to shots do
+    let k = sample rng t in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+  |> List.sort compare

@@ -1,0 +1,118 @@
+module Circuit = Qr_circuit.Circuit
+
+type t = {
+  n : int;
+  re : float array array; (* re.(col).(row) *)
+  im : float array array;
+}
+
+let num_qubits t = t.n
+
+let dim t = 1 lsl t.n
+
+let of_circuit circuit =
+  let n = Circuit.num_qubits circuit in
+  if n > 8 then invalid_arg "Unitary.of_circuit: too many qubits";
+  let d = 1 lsl n in
+  let re = Array.make d [||] and im = Array.make d [||] in
+  for col = 0 to d - 1 do
+    let out = Statevector.run circuit (Statevector.basis_state n col) in
+    re.(col) <- Array.init d (fun row -> fst (Statevector.amplitude out row));
+    im.(col) <- Array.init d (fun row -> snd (Statevector.amplitude out row))
+  done;
+  { n; re; im }
+
+let entry t ~row ~col = (t.re.(col).(row), t.im.(col).(row))
+
+let is_unitary ?(tol = 1e-9) t =
+  let d = dim t in
+  let ok = ref true in
+  for a = 0 to d - 1 do
+    for b = a to d - 1 do
+      (* <col_a | col_b> *)
+      let dot_r = ref 0. and dot_i = ref 0. in
+      for row = 0 to d - 1 do
+        dot_r :=
+          !dot_r +. (t.re.(a).(row) *. t.re.(b).(row))
+          +. (t.im.(a).(row) *. t.im.(b).(row));
+        dot_i :=
+          !dot_i +. (t.re.(a).(row) *. t.im.(b).(row))
+          -. (t.im.(a).(row) *. t.re.(b).(row))
+      done;
+      let expected = if a = b then 1. else 0. in
+      if Float.abs (!dot_r -. expected) > tol || Float.abs !dot_i > tol then
+        ok := false
+    done
+  done;
+  !ok
+
+(* The phase e^{iφ} aligning [b] onto [a], read off the entry where [a] has
+   the largest modulus. *)
+let alignment_phase a b =
+  let d = dim a in
+  let best = ref (0, 0) and best_mag = ref 0. in
+  for col = 0 to d - 1 do
+    for row = 0 to d - 1 do
+      let m = (a.re.(col).(row) ** 2.) +. (a.im.(col).(row) ** 2.) in
+      if m > !best_mag then begin
+        best_mag := m;
+        best := (row, col)
+      end
+    done
+  done;
+  let row, col = !best in
+  (* phase = a_entry / b_entry, normalized. *)
+  let ar = a.re.(col).(row) and ai = a.im.(col).(row) in
+  let br = b.re.(col).(row) and bi = b.im.(col).(row) in
+  let denom = (br *. br) +. (bi *. bi) in
+  if denom < 1e-30 then (1., 0.)
+  else begin
+    let pr = ((ar *. br) +. (ai *. bi)) /. denom in
+    let pi_ = ((ai *. br) -. (ar *. bi)) /. denom in
+    let mag = sqrt ((pr *. pr) +. (pi_ *. pi_)) in
+    if mag < 1e-30 then (1., 0.) else (pr /. mag, pi_ /. mag)
+  end
+
+let distance a b =
+  if a.n <> b.n then invalid_arg "Unitary.distance: size mismatch";
+  let pr, pi_ = alignment_phase a b in
+  let d = dim a in
+  let worst = ref 0. in
+  for col = 0 to d - 1 do
+    for row = 0 to d - 1 do
+      (* a - phase * b *)
+      let br = (pr *. b.re.(col).(row)) -. (pi_ *. b.im.(col).(row)) in
+      let bi = (pr *. b.im.(col).(row)) +. (pi_ *. b.re.(col).(row)) in
+      let dr = a.re.(col).(row) -. br and di = a.im.(col).(row) -. bi in
+      let m = sqrt ((dr *. dr) +. (di *. di)) in
+      if m > !worst then worst := m
+    done
+  done;
+  !worst
+
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  a.n = b.n && distance a b <= tol
+
+let apply_qubit_permutation t p =
+  if Array.length p <> t.n || not (Qr_perm.Perm.is_permutation p) then
+    invalid_arg "Unitary.apply_qubit_permutation: bad permutation";
+  let d = dim t in
+  let relabel i =
+    let j = ref 0 in
+    for q = 0 to t.n - 1 do
+      if i land (1 lsl q) <> 0 then j := !j lor (1 lsl p.(q))
+    done;
+    !j
+  in
+  let re = Array.make d [||] and im = Array.make d [||] in
+  for col = 0 to d - 1 do
+    re.(col) <- Array.make d 0.;
+    im.(col) <- Array.make d 0.
+  done;
+  for col = 0 to d - 1 do
+    for row = 0 to d - 1 do
+      re.(relabel col).(relabel row) <- t.re.(col).(row);
+      im.(relabel col).(relabel row) <- t.im.(col).(row)
+    done
+  done;
+  { n = t.n; re; im }

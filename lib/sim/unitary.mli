@@ -1,0 +1,38 @@
+(** Full unitary extraction — the strongest equivalence check we can run.
+
+    A circuit on [n ≤ 8] qubits is turned into its [2^n × 2^n] matrix by
+    simulating every basis state.  Two circuits are equivalent iff their
+    matrices agree up to a global phase; unlike random-state fidelity
+    checks this is a proof, not a sample.  The integration tests use it on
+    small transpilations; the statevector checks remain the tool for
+    larger instances. *)
+
+type t
+(** A dense complex matrix (column [k] = image of basis state [k]). *)
+
+val num_qubits : t -> int
+
+val dim : t -> int
+
+val of_circuit : Qr_circuit.Circuit.t -> t
+(** @raise Invalid_argument beyond 8 qubits (the matrix has [4^n]
+    entries). *)
+
+val entry : t -> row:int -> col:int -> float * float
+(** Real and imaginary parts. *)
+
+val is_unitary : ?tol:float -> t -> bool
+(** Columns orthonormal (default tolerance [1e-9]): a sanity check that
+    simulation preserved structure. *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** Whether [U = e^{iφ} V] for some φ: per-entry comparison after aligning
+    on the largest-magnitude entry. *)
+
+val apply_qubit_permutation : t -> int array -> t
+(** Conjugate by a qubit relabeling: the unitary of the same circuit with
+    wires renamed (inputs and outputs both relabeled). *)
+
+val distance : t -> t -> float
+(** Max-entry modulus of the difference after phase alignment — a debug
+    aid when {!equal_up_to_phase} fails. *)

@@ -1,0 +1,62 @@
+module Graph = Qr_graph.Graph
+
+let closer_neighbors g dist dest_at priority v =
+  let target = dest_at.(v) in
+  if target = v then []
+  else begin
+    let dv = dist v target in
+    let candidates =
+      Graph.fold_neighbors g v
+        (fun acc u -> if dist u target < dv then u :: acc else acc)
+        []
+    in
+    List.sort (fun a b -> compare priority.(a) priority.(b)) candidates
+  end
+
+let is_happy dist dest_at u v =
+  let tu = dest_at.(u) and tv = dest_at.(v) in
+  dist v tu < dist u tu && dist u tv < dist v tv
+
+let find_cycle g dist dest_at priority roots =
+  let n = Graph.num_vertices g in
+  let color = Array.make n 0 in
+  (* 0 white, 1 on the current DFS path, 2 done *)
+  let found = ref None in
+  let rec visit path v =
+    color.(v) <- 1;
+    let rec try_arcs = function
+      | [] -> ()
+      | u :: rest -> (
+          if !found = None then
+            match color.(u) with
+            | 0 -> (
+                visit (v :: path) u;
+                match !found with None -> try_arcs rest | Some _ -> ())
+            | 1 ->
+                (* The suffix of the path from u's occurrence is the
+                   cycle. *)
+                let rec collect acc = function
+                  | [] -> assert false
+                  | w :: ws -> if w = u then u :: acc else collect (w :: acc) ws
+                in
+                found := Some (collect [] (v :: path))
+            | _ -> try_arcs rest)
+    in
+    try_arcs (closer_neighbors g dist dest_at priority v);
+    if !found = None then color.(v) <- 2
+  in
+  List.iter
+    (fun v ->
+      if !found = None && color.(v) = 0 && dest_at.(v) <> v then visit [] v)
+    roots;
+  !found
+
+let find_unhappy_arc g dist dest_at priority start =
+  let rec walk prev v =
+    match closer_neighbors g dist dest_at priority v with
+    | [] ->
+        assert (prev >= 0);
+        (prev, v)
+    | u :: _ -> walk v u
+  in
+  walk (-1) start

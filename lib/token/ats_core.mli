@@ -1,0 +1,26 @@
+(** Shared internals of the token-swapping algorithms: the swap digraph D
+    and its chain searches.  [dest_at.(v)] is the destination of the token
+    currently on [v]; D has an arc [v → u] for each neighbor [u] strictly
+    closer to [dest_at.(v)] (placed tokens have no arcs).  [priority]
+    perturbs arc and root order for randomized trials; identity keeps runs
+    deterministic. *)
+
+val closer_neighbors :
+  Qr_graph.Graph.t -> (int -> int -> int) -> int array -> int array -> int ->
+  int list
+(** Out-neighbors of a vertex in D, sorted by priority. *)
+
+val is_happy : (int -> int -> int) -> int array -> int -> int -> bool
+(** Whether swapping the edge strictly helps both tokens (a 2-cycle of D). *)
+
+val find_cycle :
+  Qr_graph.Graph.t -> (int -> int -> int) -> int array -> int array ->
+  int list -> int list option
+(** Any directed cycle of D (vertices in arc order), by DFS from [roots]. *)
+
+val find_unhappy_arc :
+  Qr_graph.Graph.t -> (int -> int -> int) -> int array -> int array -> int ->
+  int * int
+(** Last arc of a maximal D-path from an unplaced vertex; the endpoint
+    carries a placed token (requires D acyclic, otherwise may not
+    terminate). *)

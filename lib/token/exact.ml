@@ -1,0 +1,93 @@
+module Graph = Qr_graph.Graph
+module Perm = Qr_perm.Perm
+
+(* Configurations are encoded as strings (one byte per vertex: the
+   destination of the token sitting there), giving cheap hashing. *)
+let encode config =
+  String.init (Array.length config) (fun i -> Char.chr config.(i))
+
+let check_size g =
+  if Graph.num_vertices g > 10 then
+    invalid_arg "Exact: graph too large for exhaustive search"
+
+let bfs ~max_states ~moves g pi =
+  check_size g;
+  let n = Graph.num_vertices g in
+  if Array.length pi <> n then invalid_arg "Exact: size mismatch";
+  let start = Array.copy pi in
+  let goal = encode (Array.init n (fun i -> i)) in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let start_key = encode start in
+  Hashtbl.replace seen start_key ();
+  Queue.add (start, 0) queue;
+  let answer = ref None in
+  while !answer = None && not (Queue.is_empty queue) do
+    let config, steps = Queue.pop queue in
+    if encode config = goal then answer := Some steps
+    else
+      moves config (fun next ->
+          let key = encode next in
+          if not (Hashtbl.mem seen key) then begin
+            if Hashtbl.length seen >= max_states then
+              failwith "Exact: state budget exhausted";
+            Hashtbl.replace seen key ();
+            Queue.add (next, steps + 1) queue
+          end)
+  done;
+  match !answer with
+  | Some steps -> steps
+  | None -> failwith "Exact: goal unreachable (disconnected graph?)"
+
+let min_swaps ?(max_states = 2_000_000) g pi =
+  let moves config emit =
+    Graph.iter_edges g (fun u v ->
+        let next = Array.copy config in
+        let tmp = next.(u) in
+        next.(u) <- next.(v);
+        next.(v) <- tmp;
+        emit next)
+  in
+  bfs ~max_states ~moves g pi
+
+let matchings_of_graph g =
+  let edge_array = Array.of_list (Graph.edges g) in
+  let num = Array.length edge_array in
+  let n = Graph.num_vertices g in
+  let used = Array.make n false in
+  let acc = ref [] in
+  let rec extend k current =
+    if k = num then begin
+      if current <> [] then acc := List.rev current :: !acc
+    end
+    else begin
+      extend (k + 1) current;
+      let u, v = edge_array.(k) in
+      if (not used.(u)) && not used.(v) then begin
+        used.(u) <- true;
+        used.(v) <- true;
+        extend (k + 1) ((u, v) :: current);
+        used.(u) <- false;
+        used.(v) <- false
+      end
+    end
+  in
+  extend 0 [];
+  !acc
+
+let min_depth ?(max_states = 2_000_000) g pi =
+  let all_matchings = matchings_of_graph g in
+  let moves config emit =
+    List.iter
+      (fun matching ->
+        let next = Array.copy config in
+        List.iter
+          (fun (u, v) ->
+            let tmp = next.(u) in
+            next.(u) <- next.(v);
+            next.(v) <- tmp)
+          matching;
+        emit next)
+      all_matchings
+  in
+  bfs ~max_states ~moves g pi

@@ -1,0 +1,97 @@
+module Graph = Qr_graph.Graph
+module Distance = Qr_graph.Distance
+module Perm = Qr_perm.Perm
+module Rng = Qr_util.Rng
+module Schedule = Qr_route.Schedule
+
+let route_one ~seed g oracle pi =
+  let n = Graph.num_vertices g in
+  let dist u v = Distance.dist oracle u v in
+  let dest_at = Array.copy pi in
+  let layers = ref [] in
+  let do_swap u v =
+    let tmp = dest_at.(u) in
+    dest_at.(u) <- dest_at.(v);
+    dest_at.(v) <- tmp
+  in
+  let push_layer swaps =
+    List.iter (fun (u, v) -> do_swap u v) swaps;
+    layers := Array.of_list swaps :: !layers
+  in
+  (* Edge order of the greedy harvest, perturbed per seed so ties don't
+     always favour low-index corners. *)
+  let edge_array = Array.of_list (Graph.edges g) in
+  Rng.shuffle_in_place (Rng.create seed) edge_array;
+  let priority = Array.init n (fun v -> v) in
+  let roots = List.init n (fun v -> v) in
+  let used = Array.make n false in
+  let happy_layer () =
+    Array.fill used 0 n false;
+    let batch = ref [] in
+    Array.iter
+      (fun (u, v) ->
+        if (not used.(u)) && (not used.(v))
+           && Ats_core.is_happy dist dest_at u v
+        then begin
+          used.(u) <- true;
+          used.(v) <- true;
+          batch := (u, v) :: !batch
+        end)
+      edge_array;
+    !batch
+  in
+  let total = Perm.total_distance dist pi in
+  let cap = max (4 * n * n) ((8 * total) + 64) in
+  let rounds = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr rounds;
+    if !rounds > cap then failwith "Parallel_ats.route: safety cap exceeded";
+    match happy_layer () with
+    | _ :: _ as batch -> push_layer batch
+    | [] -> (
+        (* Stuck: fall back to one serial ATS step to restore progress —
+           a cycle chain (emitted as singleton layers; the final compaction
+           merges what it can) or a single unhappy swap. *)
+        match Ats_core.find_cycle g dist dest_at priority roots with
+        | Some cycle ->
+            let arr = Array.of_list cycle in
+            for k = Array.length arr - 2 downto 0 do
+              push_layer [ (arr.(k), arr.(k + 1)) ]
+            done
+        | None -> (
+            let rec first_unplaced v =
+              if v >= n then None
+              else if dest_at.(v) <> v then Some v
+              else first_unplaced (v + 1)
+            in
+            match first_unplaced 0 with
+            | None -> finished := true
+            | Some v ->
+                let a, b = Ats_core.find_unhappy_arc g dist dest_at priority v in
+                push_layer [ (a, b) ]))
+  done;
+  let sched = Schedule.compact ~n (List.rev !layers) in
+  assert (Schedule.realizes ~n sched pi);
+  sched
+
+let route ?(trials = 4) ?(seed = 0) g oracle pi =
+  let n = Graph.num_vertices g in
+  if Array.length pi <> n then invalid_arg "Parallel_ats.route: size mismatch";
+  if not (Perm.is_permutation pi) then
+    invalid_arg "Parallel_ats.route: not a permutation";
+  if not (Graph.is_connected g) then
+    invalid_arg "Parallel_ats.route: graph must be connected";
+  if trials < 1 then invalid_arg "Parallel_ats.route: trials must be positive";
+  let rec best k champion =
+    if k >= trials then champion
+    else begin
+      let candidate = route_one ~seed:(seed + k) g oracle pi in
+      let champion =
+        if Schedule.depth candidate < Schedule.depth champion then candidate
+        else champion
+      in
+      best (k + 1) champion
+    end
+  in
+  best 1 (route_one ~seed g oracle pi)

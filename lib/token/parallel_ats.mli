@@ -1,0 +1,28 @@
+(** Depth-oriented parallel token swapping.
+
+    The serial ATS minimizes swap {e count}; its sequence, even optimally
+    re-layered, can leave long dependency chains.  Transpilers that use
+    token swapping as a routing primitive therefore run it in rounds: every
+    round applies a maximal vertex-disjoint set of {e happy} swaps (both
+    tokens strictly closer — the 2-cycles of the swap digraph) as one
+    parallel layer.  When no happy swap exists the round falls back to one
+    serial ATS step (cycle chain or single unhappy swap), which guarantees
+    progress; a final ASAP compaction welds independent fallback swaps into
+    neighbouring layers.
+
+    This is the schedule the benchmarks label [ats] when comparing depths
+    (Figure 4); {!Token_swap.schedule} (serial order, re-layered) is kept as
+    the [ats-serial] ablation. *)
+
+val route :
+  ?trials:int ->
+  ?seed:int ->
+  Qr_graph.Graph.t -> Qr_graph.Distance.t -> Qr_perm.Perm.t ->
+  Qr_route.Schedule.t
+(** Route the permutation; the result is a valid schedule realizing it
+    (asserted).  Runs [trials] attempts (default 4, like the reference
+    implementation) whose harvest scan order is perturbed from [seed]
+    (default 0) and keeps the shallowest — fully deterministic for fixed
+    arguments.
+    @raise Invalid_argument on size mismatch or a disconnected graph.
+    @raise Failure if the safety cap trips. *)

@@ -1,0 +1,23 @@
+module Schedule = Qr_route.Schedule
+
+let schedule ~n swaps = Schedule.compact ~n (Schedule.of_swaps swaps)
+
+let parallelism sched =
+  let d = Schedule.depth sched in
+  if d = 0 then 0.
+  else float_of_int (Schedule.size sched) /. float_of_int d
+
+let layer_sizes sched =
+  Array.of_list (List.map Array.length sched)
+
+let critical_path ~n swaps =
+  let longest_at = Array.make n 0 in
+  let best = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      let here = 1 + max longest_at.(u) longest_at.(v) in
+      longest_at.(u) <- here;
+      longest_at.(v) <- here;
+      if here > !best then best := here)
+    swaps;
+  !best

@@ -1,0 +1,22 @@
+(** Analysis helpers for lifting serial swap sequences into parallel
+    schedules.
+
+    The lifting itself is {!Qr_route.Schedule.compact} (greedy ASAP): a swap
+    joins the earliest layer after the last layer touching either endpoint,
+    which preserves the realized permutation because only commuting swaps
+    change relative order.  This module adds the measurements the benches
+    report alongside the depth. *)
+
+val schedule : n:int -> (int * int) list -> Qr_route.Schedule.t
+(** ASAP layering of a serial swap list. *)
+
+val parallelism : Qr_route.Schedule.t -> float
+(** Average swaps per layer ([size/depth]); [0.] for the empty schedule. *)
+
+val layer_sizes : Qr_route.Schedule.t -> int array
+(** Swap count of each layer, in order. *)
+
+val critical_path : n:int -> (int * int) list -> int
+(** Length of the longest chain of endpoint-sharing swaps — a lower bound
+    on the depth of {e any} order-preserving layering, and exactly the
+    depth ASAP achieves (asserted in tests). *)

@@ -1,0 +1,115 @@
+module Graph = Qr_graph.Graph
+module Distance = Qr_graph.Distance
+module Perm = Qr_perm.Perm
+module Rng = Qr_util.Rng
+module Schedule = Qr_route.Schedule
+
+let run_trial g dist pi priority roots cap =
+  let n = Graph.num_vertices g in
+  let dest_at = Array.copy pi in
+  let swaps = ref [] in
+  let swap_count = ref 0 in
+  let do_swap u v =
+    let tmp = dest_at.(u) in
+    dest_at.(u) <- dest_at.(v);
+    dest_at.(v) <- tmp;
+    swaps := (u, v) :: !swaps;
+    incr swap_count
+  in
+  (* Greedily perform a maximal vertex-disjoint set of happy swaps (the
+     2-cycles of D); batching them keeps the serial order friendly to ASAP
+     re-layering.  Returns whether any swap was made. *)
+  let happy_batch () =
+    let used = Array.make n false in
+    let batch = ref [] in
+    Graph.iter_edges g (fun u v ->
+        if (not used.(u)) && (not used.(v))
+           && Ats_core.is_happy dist dest_at u v
+        then begin
+          used.(u) <- true;
+          used.(v) <- true;
+          batch := (u, v) :: !batch
+        end);
+    List.iter (fun (u, v) -> do_swap u v) !batch;
+    !batch <> []
+  in
+  (* Far-end first along a cycle of D: every token on the cycle advances
+     one arc using k−1 swaps. *)
+  let swap_chain vertices =
+    let arr = Array.of_list vertices in
+    for k = Array.length arr - 2 downto 0 do
+      do_swap arr.(k) arr.(k + 1)
+    done
+  in
+  let first_unplaced () = List.find_opt (fun v -> dest_at.(v) <> v) roots in
+  let ok = ref true in
+  let finished = ref false in
+  while (not !finished) && !ok do
+    if !swap_count > cap then ok := false
+    else if happy_batch () then ()
+    else
+      match Ats_core.find_cycle g dist dest_at priority roots with
+      | Some cycle -> swap_chain cycle
+      | None -> (
+          match first_unplaced () with
+          | None -> finished := true
+          | Some v ->
+              (* Miltzow's unhappy swap: the single last arc of a maximal
+                 path (swapping along the whole path would drag the placed
+                 token back across it and void the approximation bound). *)
+              let a, b = Ats_core.find_unhappy_arc g dist dest_at priority v in
+              do_swap a b)
+  done;
+  if !ok then Some (List.rev !swaps) else None
+
+let serial ?(trials = 1) ?(seed = 0) g oracle pi =
+  let n = Graph.num_vertices g in
+  if Array.length pi <> n then invalid_arg "Token_swap.serial: size mismatch";
+  if not (Perm.is_permutation pi) then
+    invalid_arg "Token_swap.serial: not a permutation";
+  if not (Graph.is_connected g) then
+    invalid_arg "Token_swap.serial: graph must be connected";
+  if trials < 1 then invalid_arg "Token_swap.serial: trials must be positive";
+  let dist u v = Distance.dist oracle u v in
+  let total = Perm.total_distance dist pi in
+  let cap = max (4 * n * n) ((8 * total) + 64) in
+  let identity_order = List.init n (fun v -> v) in
+  let rng = Rng.create seed in
+  let best = ref None in
+  for trial = 0 to trials - 1 do
+    let priority, roots =
+      if trial = 0 then (Array.init n (fun v -> v), identity_order)
+      else begin
+        let p = Rng.permutation rng n in
+        (p, List.sort (fun a b -> compare p.(a) p.(b)) identity_order)
+      end
+    in
+    match run_trial g dist pi priority roots cap with
+    | None -> ()
+    | Some swaps -> (
+        match !best with
+        | Some prev when List.length prev <= List.length swaps -> ()
+        | _ -> best := Some swaps)
+  done;
+  match !best with
+  | None -> failwith "Token_swap.serial: all trials exceeded the safety cap"
+  | Some swaps ->
+      (* The sequence must realize pi exactly. *)
+      assert (
+        let check = Array.copy pi in
+        List.iter
+          (fun (u, v) ->
+            let tmp = check.(u) in
+            check.(u) <- check.(v);
+            check.(v) <- tmp)
+          swaps;
+        Array.for_all2 ( = ) check (Array.init n (fun i -> i)));
+      swaps
+
+let schedule ?trials ?seed g oracle pi =
+  let n = Graph.num_vertices g in
+  Schedule.compact ~n (Schedule.of_swaps (serial ?trials ?seed g oracle pi))
+
+let swap_count_lower_bound oracle pi =
+  let total = Perm.total_distance (fun u v -> Distance.dist oracle u v) pi in
+  (total + 1) / 2

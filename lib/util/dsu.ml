@@ -1,0 +1,49 @@
+type t = { parent : int array; rank : int array; sizes : int array }
+
+let create n =
+  { parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry =
+      if t.rank.(rx) < t.rank.(ry) then (ry, rx) else (rx, ry)
+    in
+    t.parent.(ry) <- rx;
+    t.sizes.(rx) <- t.sizes.(rx) + t.sizes.(ry);
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let size t x = t.sizes.(find t x)
+
+let count_sets t =
+  let n = Array.length t.parent in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr count
+  done;
+  !count
+
+let groups t =
+  let n = Array.length t.parent in
+  let acc = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    acc.(r) <- i :: acc.(r)
+  done;
+  acc

@@ -1,0 +1,27 @@
+(** Disjoint-set union (union-find) with path compression and union by rank.
+    Used for connectivity checks and for grouping permutation cycles into
+    spatial clusters in the workload generators. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0..n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [true] iff they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements share a set. *)
+
+val size : t -> int -> int
+(** Number of elements in the element's set. *)
+
+val count_sets : t -> int
+(** Number of distinct sets remaining. *)
+
+val groups : t -> int list array
+(** [groups t] lists each set's members, indexed by representative; entries
+    for non-representatives are empty. *)

@@ -1,0 +1,72 @@
+type 'a entry = { key : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let fresh_cap = max 8 (2 * cap) in
+    let fresh =
+      Array.make fresh_cap
+        (if cap = 0 then { key = 0; value = Obj.magic 0 } else t.data.(0))
+    in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(i).key < t.data.(parent).key then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.data.(left).key < t.data.(!smallest).key then
+    smallest := left;
+  if right < t.size && t.data.(right).key < t.data.(!smallest).key then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~key value =
+  ensure_capacity t;
+  t.data.(t.size) <- { key; value };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_min t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (key, value) -> add t ~key value) entries;
+  t

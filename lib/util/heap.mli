@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by integers, used for greedy selections (e.g.
+    nearest-target assignment when extending partial permutations). *)
+
+type 'a t
+(** Heap of values of type ['a] ordered by an [int] key (smallest first). *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** Insert a keyed value. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key entry, or [None] when empty.  Ties are
+    broken arbitrarily but deterministically. *)
+
+val peek_min : 'a t -> (int * 'a) option
+(** Return the minimum-key entry without removing it. *)
+
+val of_list : (int * 'a) list -> 'a t
+(** Build a heap from keyed values. *)

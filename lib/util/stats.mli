@@ -1,0 +1,29 @@
+(** Small descriptive-statistics helpers used by the benchmark harness to
+    summarize depth and runtime samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for singletons.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest value.  @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]: linear interpolation between
+    closest ranks on a sorted copy.  @raise Invalid_argument on empty input
+    or [p] outside [0,100]. *)
+
+val median : float array -> float
+(** [percentile xs 50.]. *)
+
+val of_ints : int array -> float array
+(** Convert integer samples (e.g. schedule depths) for the functions above. *)
+
+val summary : float array -> string
+(** One-line ["mean=… sd=… min=… med=… max=…"] rendering. *)

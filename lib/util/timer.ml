@@ -1,0 +1,21 @@
+type t = float
+
+let now () = Unix.gettimeofday ()
+
+let start () = now ()
+
+let elapsed_s t = now () -. t
+
+let time f =
+  let t = start () in
+  let result = f () in
+  (result, elapsed_s t)
+
+let time_repeated ?(min_runs = 3) ?(min_time_s = 0.05) f =
+  let t = start () in
+  let runs = ref 0 in
+  while !runs < min_runs || elapsed_s t < min_time_s do
+    ignore (Sys.opaque_identity (f ()));
+    incr runs
+  done;
+  elapsed_s t /. float_of_int !runs

@@ -1,0 +1,19 @@
+(** Wall-clock timing for the figure-5 style runtime measurements. *)
+
+type t
+(** A running timer. *)
+
+val start : unit -> t
+(** Start a timer now. *)
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_repeated : ?min_runs:int -> ?min_time_s:float -> (unit -> 'a) -> float
+(** [time_repeated f] runs [f] at least [min_runs] times (default 3) and for
+    at least [min_time_s] seconds (default 0.05) and returns the mean seconds
+    per run — a cheap measurement loop for coarse benchmark sweeps where a
+    full Bechamel run would be overkill. *)

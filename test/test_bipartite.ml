@@ -1,0 +1,327 @@
+(* Tests for Qr_bipartite: Hopcroft_karp, Decompose, Bottleneck. *)
+
+module HK = Qr_bipartite.Hopcroft_karp
+module Decompose = Qr_bipartite.Decompose
+module Bottleneck = Qr_bipartite.Bottleneck
+module Rng = Qr_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Matching sanity: distinct lefts, distinct rights, edges exist. *)
+let matching_consistent ~edges (result : HK.result) =
+  let ok = ref true in
+  Array.iteri
+    (fun l k ->
+      if k >= 0 then begin
+        let el, er = edges.(k) in
+        if el <> l then ok := false;
+        if result.right_match.(er) <> k then ok := false
+      end)
+    result.left_match;
+  !ok
+
+(* ----------------------------------------------------------- Hopcroft_karp *)
+
+let test_hk_perfect_on_identity () =
+  let edges = Array.init 5 (fun i -> (i, i)) in
+  let r = HK.solve ~nl:5 ~nr:5 ~edges in
+  checki "size" 5 r.size;
+  checkb "perfect" true (HK.is_perfect ~nl:5 ~nr:5 r);
+  checkb "consistent" true (matching_consistent ~edges r)
+
+let test_hk_empty_graph () =
+  let r = HK.solve ~nl:3 ~nr:3 ~edges:[||] in
+  checki "no matching" 0 r.size
+
+let test_hk_star_saturates_one () =
+  (* All lefts point to right 0: matching size 1. *)
+  let edges = Array.init 4 (fun l -> (l, 0)) in
+  let r = HK.solve ~nl:4 ~nr:3 ~edges in
+  checki "size 1" 1 r.size
+
+let test_hk_known_maximum () =
+  (* Bipartite graph where greedy can fail but HK must find 3:
+     L0-{R0,R1}, L1-{R0}, L2-{R1,R2}. *)
+  let edges = [| (0, 0); (0, 1); (1, 0); (2, 1); (2, 2) |] in
+  let r = HK.solve ~nl:3 ~nr:3 ~edges in
+  checki "maximum 3" 3 r.size;
+  checkb "consistent" true (matching_consistent ~edges r)
+
+let test_hk_parallel_edges () =
+  let edges = [| (0, 0); (0, 0); (1, 1) |] in
+  let r = HK.solve ~nl:2 ~nr:2 ~edges in
+  checki "multigraph ok" 2 r.size
+
+let test_hk_rejects_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Hopcroft_karp: endpoint out of range") (fun () ->
+      ignore (HK.solve ~nl:2 ~nr:2 ~edges:[| (0, 5) |]))
+
+let test_hk_rectangular () =
+  let edges = [| (0, 0); (1, 1); (2, 2); (3, 3) |] in
+  let r = HK.solve ~nl:4 ~nr:6 ~edges in
+  checki "size" 4 r.size;
+  checkb "not perfect (nl<>nr)" false (HK.is_perfect ~nl:4 ~nr:6 r)
+
+(* Brute-force maximum matching for cross-checking. *)
+let brute_max_matching ~nl ~nr ~edges =
+  let by_left = Array.make nl [] in
+  Array.iter (fun (l, r) -> by_left.(l) <- r :: by_left.(l)) edges;
+  let used = Array.make nr false in
+  let rec go l =
+    if l = nl then 0
+    else begin
+      let skip = go (l + 1) in
+      let best = ref skip in
+      List.iter
+        (fun r ->
+          if not used.(r) then begin
+            used.(r) <- true;
+            let candidate = 1 + go (l + 1) in
+            used.(r) <- false;
+            if candidate > !best then best := candidate
+          end)
+        by_left.(l);
+      !best
+    end
+  in
+  go 0
+
+let hk_matches_brute_force =
+  QCheck.Test.make ~name:"HK = brute force on random bipartite graphs"
+    ~count:200
+    QCheck.(small_list (pair (int_bound 4) (int_bound 4)))
+    (fun pairs ->
+      let edges = Array.of_list pairs in
+      let r = HK.solve ~nl:5 ~nr:5 ~edges in
+      r.size = brute_max_matching ~nl:5 ~nr:5 ~edges
+      && matching_consistent ~edges r)
+
+let test_hall_violator_none_when_perfect () =
+  let edges = Array.init 3 (fun i -> (i, i)) in
+  let r = HK.solve ~nl:3 ~nr:3 ~edges in
+  checkb "no violator" true (HK.hall_violator ~nl:3 ~nr:3 ~edges r = None)
+
+let test_hall_violator_found () =
+  (* L0, L1 both only see R0: violator must include both. *)
+  let edges = [| (0, 0); (1, 0); (2, 1) |] in
+  let r = HK.solve ~nl:3 ~nr:3 ~edges in
+  match HK.hall_violator ~nl:3 ~nr:3 ~edges r with
+  | None -> Alcotest.fail "expected a violator"
+  | Some s ->
+      (* |N(S)| < |S| must hold. *)
+      let neighborhood = Hashtbl.create 4 in
+      List.iter
+        (fun l ->
+          Array.iter
+            (fun (el, er) -> if el = l then Hashtbl.replace neighborhood er ())
+            edges)
+        s;
+      checkb "violates Hall" true (Hashtbl.length neighborhood < List.length s)
+
+(* -------------------------------------------------------------- Decompose *)
+
+let random_regular_multigraph rng n d =
+  (* Union of d random perfect matchings = d-regular bipartite multigraph. *)
+  let edges = ref [] in
+  for _ = 1 to d do
+    let p = Rng.permutation rng n in
+    Array.iteri (fun l r -> edges := (l, r) :: !edges) p
+  done;
+  Array.of_list !edges
+
+let test_check_regular () =
+  let edges = [| (0, 0); (0, 1); (1, 0); (1, 1) |] in
+  checki "2-regular" 2 (Decompose.check_regular ~nl:2 ~nr:2 ~edges)
+
+let test_check_regular_rejects () =
+  Alcotest.check_raises "irregular" (Invalid_argument "Decompose: not regular")
+    (fun () ->
+      ignore (Decompose.check_regular ~nl:2 ~nr:2 ~edges:[| (0, 0); (0, 1) |]))
+
+let test_decompose_extraction_valid () =
+  let rng = Rng.create 3 in
+  for trial = 0 to 14 do
+    let n = 2 + (trial mod 5) and d = 1 + (trial mod 4) in
+    let edges = random_regular_multigraph rng n d in
+    let ms = Decompose.by_extraction ~nl:n ~nr:n ~edges in
+    checki "d matchings" d (List.length ms);
+    checkb "valid partition" true (Decompose.validate ~nl:n ~nr:n ~edges ms)
+  done
+
+let test_decompose_euler_valid () =
+  let rng = Rng.create 4 in
+  for trial = 0 to 14 do
+    let n = 2 + (trial mod 5) and d = 1 + (trial mod 6) in
+    let edges = random_regular_multigraph rng n d in
+    let ms = Decompose.by_euler_split ~nl:n ~nr:n ~edges in
+    checki "d matchings" d (List.length ms);
+    checkb "valid partition" true (Decompose.validate ~nl:n ~nr:n ~edges ms)
+  done
+
+let test_decompose_parallel_heavy () =
+  (* All d edges between the same pair: d copies of a 1-vertex matching
+     per side — the extreme multigraph case. *)
+  let edges = Array.init 4 (fun _ -> (0, 0)) in
+  let ms = Decompose.by_extraction ~nl:1 ~nr:1 ~edges in
+  checki "4 matchings" 4 (List.length ms);
+  checkb "valid" true (Decompose.validate ~nl:1 ~nr:1 ~edges ms)
+
+let test_validate_catches_overlap () =
+  let edges = [| (0, 0); (0, 1); (1, 0); (1, 1) |] in
+  (* Reuse the same matching twice: must fail validation. *)
+  let m = [| 0; 3 |] in
+  checkb "reused edges rejected" false
+    (Decompose.validate ~nl:2 ~nr:2 ~edges [ m; m ])
+
+let test_validate_catches_incomplete () =
+  let edges = [| (0, 0); (0, 1); (1, 0); (1, 1) |] in
+  let m = [| 0; 3 |] in
+  checkb "not all edges covered" false (Decompose.validate ~nl:2 ~nr:2 ~edges [ m ])
+
+let decompose_strategies_agree_on_validity =
+  QCheck.Test.make ~name:"extraction and euler-split both valid" ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 0 10000))
+    (fun (n, d, seed) ->
+      let rng = Rng.create seed in
+      let edges = random_regular_multigraph rng n d in
+      let a = Decompose.by_extraction ~nl:n ~nr:n ~edges in
+      let b = Decompose.by_euler_split ~nl:n ~nr:n ~edges in
+      Decompose.validate ~nl:n ~nr:n ~edges a
+      && Decompose.validate ~nl:n ~nr:n ~edges b
+      && List.length a = d
+      && List.length b = d)
+
+(* -------------------------------------------------------------- Bottleneck *)
+
+let test_bottleneck_simple () =
+  let edges =
+    [
+      Bottleneck.{ l = 0; r = 0; weight = 1 };
+      Bottleneck.{ l = 0; r = 1; weight = 10 };
+      Bottleneck.{ l = 1; r = 0; weight = 10 };
+      Bottleneck.{ l = 1; r = 1; weight = 2 };
+    ]
+  in
+  let s = Bottleneck.solve ~nl:2 ~nr:2 edges in
+  checki "bottleneck" 2 s.bottleneck;
+  checki "matched pairs" 2 (List.length s.pairs)
+
+let test_bottleneck_forced_heavy () =
+  (* The only perfect matching uses the heavy edge. *)
+  let edges =
+    [
+      Bottleneck.{ l = 0; r = 0; weight = 100 };
+      Bottleneck.{ l = 1; r = 0; weight = 1 };
+      Bottleneck.{ l = 1; r = 1; weight = 1 };
+    ]
+  in
+  let s = Bottleneck.solve ~nl:2 ~nr:2 edges in
+  checki "forced" 100 s.bottleneck
+
+let test_bottleneck_prefers_cardinality () =
+  (* A lighter non-maximum matching must not win. *)
+  let edges =
+    [
+      Bottleneck.{ l = 0; r = 0; weight = 1 };
+      Bottleneck.{ l = 1; r = 0; weight = 50 };
+      Bottleneck.{ l = 1; r = 1; weight = 50 };
+    ]
+  in
+  let s = Bottleneck.solve ~nl:2 ~nr:2 edges in
+  checki "two pairs" 2 (List.length s.pairs);
+  checki "bottleneck 50" 50 s.bottleneck
+
+let test_bottleneck_empty () =
+  let s = Bottleneck.solve ~nl:2 ~nr:2 [] in
+  checki "no pairs" 0 (List.length s.pairs);
+  checkb "sentinel bottleneck" true (s.bottleneck = min_int)
+
+let test_bottleneck_complete_matrix () =
+  let weights = [| [| 3; 1 |]; [| 1; 3 |] |] in
+  let s = Bottleneck.solve_complete ~weights in
+  checki "anti-diagonal" 1 s.bottleneck
+
+let test_bottleneck_negative_weights () =
+  let edges =
+    [
+      Bottleneck.{ l = 0; r = 0; weight = -5 };
+      Bottleneck.{ l = 1; r = 1; weight = -3 };
+    ]
+  in
+  let s = Bottleneck.solve ~nl:2 ~nr:2 edges in
+  checki "negative ok" (-3) s.bottleneck
+
+let bottleneck_matches_brute_force =
+  QCheck.Test.make ~name:"bottleneck = brute force on random instances"
+    ~count:150
+    QCheck.(small_list (triple (int_bound 3) (int_bound 3) (int_bound 20)))
+    (fun triples ->
+      let edges =
+        List.map (fun (l, r, w) -> Bottleneck.{ l; r; weight = w }) triples
+      in
+      let s = Bottleneck.solve ~nl:4 ~nr:4 edges in
+      let brute = Bottleneck.brute_force ~nl:4 ~nr:4 edges in
+      if edges = [] then s.bottleneck = min_int
+      else s.bottleneck = brute)
+
+let mcbbm_assignment_is_permutation =
+  QCheck.Test.make ~name:"complete-matrix MCBBM is a perfect assignment"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let weights =
+        Array.init n (fun _ -> Array.init n (fun _ -> Rng.int rng 50))
+      in
+      let s = Bottleneck.solve_complete ~weights in
+      List.length s.pairs = n
+      && Qr_perm.Perm.is_permutation s.left_match)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qr_bipartite"
+    [
+      ( "hopcroft_karp",
+        [
+          Alcotest.test_case "identity perfect" `Quick test_hk_perfect_on_identity;
+          Alcotest.test_case "empty" `Quick test_hk_empty_graph;
+          Alcotest.test_case "star" `Quick test_hk_star_saturates_one;
+          Alcotest.test_case "known maximum" `Quick test_hk_known_maximum;
+          Alcotest.test_case "parallel edges" `Quick test_hk_parallel_edges;
+          Alcotest.test_case "rejects range" `Quick test_hk_rejects_range;
+          Alcotest.test_case "rectangular" `Quick test_hk_rectangular;
+          Alcotest.test_case "hall none" `Quick test_hall_violator_none_when_perfect;
+          Alcotest.test_case "hall found" `Quick test_hall_violator_found;
+          qc hk_matches_brute_force;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "check_regular" `Quick test_check_regular;
+          Alcotest.test_case "check_regular rejects" `Quick
+            test_check_regular_rejects;
+          Alcotest.test_case "extraction valid" `Quick
+            test_decompose_extraction_valid;
+          Alcotest.test_case "euler valid" `Quick test_decompose_euler_valid;
+          Alcotest.test_case "parallel heavy" `Quick test_decompose_parallel_heavy;
+          Alcotest.test_case "validate catches overlap" `Quick
+            test_validate_catches_overlap;
+          Alcotest.test_case "validate catches incomplete" `Quick
+            test_validate_catches_incomplete;
+          qc decompose_strategies_agree_on_validity;
+        ] );
+      ( "bottleneck",
+        [
+          Alcotest.test_case "simple" `Quick test_bottleneck_simple;
+          Alcotest.test_case "forced heavy" `Quick test_bottleneck_forced_heavy;
+          Alcotest.test_case "cardinality first" `Quick
+            test_bottleneck_prefers_cardinality;
+          Alcotest.test_case "empty" `Quick test_bottleneck_empty;
+          Alcotest.test_case "complete matrix" `Quick test_bottleneck_complete_matrix;
+          Alcotest.test_case "negative weights" `Quick
+            test_bottleneck_negative_weights;
+          qc bottleneck_matches_brute_force;
+          qc mcbbm_assignment_is_permutation;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for Qr_route.Column_graph and Qr_route.Grid_route. *)
+
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Generators = Qr_perm.Generators
+module Schedule = Qr_route.Schedule
+module Column_graph = Qr_route.Column_graph
+module Grid_route = Qr_route.Grid_route
+module Decompose = Qr_bipartite.Decompose
+module Rng = Qr_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------ Column_graph *)
+
+let test_column_graph_shape () =
+  let grid = Grid.make ~rows:3 ~cols:4 in
+  let pi = Perm.identity 12 in
+  let cg = Column_graph.build grid pi in
+  checki "rows" 3 (Column_graph.rows cg);
+  checki "cols" 4 (Column_graph.cols cg);
+  checki "one edge per qubit" 12 (Column_graph.num_edges cg)
+
+let test_column_graph_labels () =
+  let grid = Grid.make ~rows:2 ~cols:2 in
+  (* Send (0,0) -> (1,1). *)
+  let pi = Perm.extend_partial ~n:4 [ (Grid.index grid 0 0, Grid.index grid 1 1) ] in
+  let cg = Column_graph.build grid pi in
+  let e = Grid.index grid 0 0 in
+  checki "src col" 0 (Column_graph.src_col cg e);
+  checki "dst col" 1 (Column_graph.dst_col cg e);
+  checki "src row" 0 (Column_graph.src_row cg e);
+  checki "dst row" 1 (Column_graph.dst_row cg e)
+
+let test_column_graph_regular () =
+  (* For any permutation the column multigraph is m-regular. *)
+  let rng = Rng.create 1 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let cg = Column_graph.build grid pi in
+      checki "degree m" m
+        (Decompose.check_regular ~nl:n ~nr:n ~edges:(Column_graph.hk_edges cg)))
+    [ (2, 3); (4, 4); (5, 2); (1, 6) ]
+
+let test_edges_in_band () =
+  let grid = Grid.make ~rows:4 ~cols:2 in
+  let pi = Perm.identity 8 in
+  let cg = Column_graph.build grid pi in
+  let live = Array.make 8 true in
+  checki "rows 1..2 edges" 4
+    (List.length (Column_graph.edges_in_band cg ~live ~lo:1 ~hi:2));
+  live.(Grid.index grid 1 0) <- false;
+  checki "dead edges excluded" 3
+    (List.length (Column_graph.edges_in_band cg ~live ~lo:1 ~hi:2))
+
+(* -------------------------------------------------------------- Grid_route *)
+
+let grids = [ (1, 1); (1, 5); (5, 1); (2, 2); (3, 4); (4, 3); (5, 5); (6, 4) ]
+
+let kinds g =
+  Generators.paper_kinds g
+  @ [ Generators.Identity; Generators.Reversal; Generators.Mirror_rows ]
+
+let test_naive_routes_everything () =
+  let rng = Rng.create 2 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      List.iter
+        (fun kind ->
+          let pi = Generators.generate grid kind rng in
+          let s = Grid_route.route_naive grid pi in
+          checkb "valid" true (Schedule.is_valid (Grid.graph grid) s);
+          checkb "realizes" true (Schedule.realizes ~n:(m * n) s pi))
+        (kinds grid))
+    grids
+
+let test_naive_euler_strategy () =
+  let rng = Rng.create 3 in
+  let grid = Grid.make ~rows:4 ~cols:5 in
+  let pi = Perm.check (Rng.permutation rng 20) in
+  let s = Grid_route.route_naive ~strategy:Grid_route.Euler_split grid pi in
+  checkb "euler-based also correct" true (Schedule.realizes ~n:20 s pi)
+
+let test_identity_routes_empty () =
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let s = Grid_route.route_naive grid (Perm.identity 16) in
+  checki "identity costs nothing" 0 (Schedule.depth s)
+
+let test_check_sigmas_detects_bad () =
+  let grid = Grid.make ~rows:2 ~cols:2 in
+  (* pi = swap the two columns of row 0; sigma = identities leaves two
+     qubits with the same destination column in the same row -> valid?
+     For pi swapping (0,0)<->(0,1): row 0 holds both qubits; their dest
+     columns are 1 and 0 - distinct, fine.  Use a genuinely bad sigma:
+     pi sends both column-0 qubits to column 1 positions... that is not a
+     permutation; instead craft sigma that collides: pi = identity needs
+     distinct dest columns per row, identity sigma is fine; swap sigma of
+     one column only is still a permutation per column but creates no
+     collision for identity pi either (dest col = own col).  Collision test:
+     pi maps (0,0)->(0,1) and (1,0)->(1,1)? impossible (two qubits to col 1
+     row differ) - dest columns within a row collide only if two qubits in
+     the same row target the same column. *)
+  let pi =
+    Qr_perm.Grid_perm.of_coord_map grid (fun (r, c) -> (r, 1 - c))
+  in
+  (* Column swap: row 0 holds (0,0)->(0,1) and (0,1)->(0,0): distinct dest
+     cols.  With sigma sending both column-0 and column-1 qubits of row 0
+     to row 1 we'd break the permutation property instead; so check the
+     well-formedness path: non-permutation sigma must be rejected. *)
+  let bad_sigmas = [| [| 0; 0 |]; [| 0; 1 |] |] in
+  checkb "rejected" false (Grid_route.check_sigmas grid pi bad_sigmas)
+
+let test_sigmas_of_assignment_valid () =
+  let rng = Rng.create 4 in
+  let grid = Grid.make ~rows:3 ~cols:4 in
+  let pi = Perm.check (Rng.permutation rng 12) in
+  let cg = Column_graph.build grid pi in
+  let matchings =
+    Decompose.by_extraction ~nl:4 ~nr:4 ~edges:(Column_graph.hk_edges cg)
+  in
+  (* Hall guarantees 3 matchings (m = 3). *)
+  checki "m matchings" 3 (List.length matchings);
+  let assigned = [| 2; 0; 1 |] in
+  let sigmas = Grid_route.sigmas_of_assignment cg ~matchings ~assigned_rows:assigned in
+  checkb "precondition holds" true (Grid_route.check_sigmas grid pi sigmas);
+  let s = Grid_route.route_with_sigmas grid pi sigmas in
+  checkb "routes correctly" true (Schedule.realizes ~n:12 s pi)
+
+let test_sigmas_of_assignment_rejects_bad_rows () =
+  let grid = Grid.make ~rows:2 ~cols:2 in
+  let pi = Perm.identity 4 in
+  let cg = Column_graph.build grid pi in
+  let matchings =
+    Decompose.by_extraction ~nl:2 ~nr:2 ~edges:(Column_graph.hk_edges cg)
+  in
+  Alcotest.check_raises "row assignment must be a permutation"
+    (Invalid_argument "Grid_route.sigmas_of_assignment: bad row assignment")
+    (fun () ->
+      ignore
+        (Grid_route.sigmas_of_assignment cg ~matchings ~assigned_rows:[| 0; 0 |]))
+
+let test_depth_bound_three_phases () =
+  (* Odd-even gives each phase <= line length; total <= 2m + n. *)
+  let rng = Rng.create 5 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      for _ = 1 to 5 do
+        let pi = Perm.check (Rng.permutation rng (m * n)) in
+        let s = Grid_route.route_naive grid pi in
+        checkb "<= 2m + n" true (Schedule.depth s <= (2 * m) + n)
+      done)
+    [ (3, 3); (4, 6); (6, 4); (2, 8) ]
+
+let test_round_depths_sum () =
+  let rng = Rng.create 6 in
+  let grid = Grid.make ~rows:5 ~cols:6 in
+  for _ = 1 to 5 do
+    let pi = Perm.check (Rng.permutation rng 30) in
+    let sigmas = Grid_route.naive_sigmas grid pi in
+    let r1, r2, r3 = Grid_route.round_depths grid pi sigmas in
+    checki "rounds sum to total depth" (r1 + r2 + r3)
+      (Schedule.depth (Grid_route.route_with_sigmas grid pi sigmas));
+    checkb "round bounds" true (r1 <= 5 && r2 <= 6 && r3 <= 5)
+  done
+
+let test_round_depths_row_local () =
+  (* Locality-aware sigmas on a row-wise shift: rounds 1 and 3 must be
+     empty (all movement is horizontal). *)
+  let grid = Grid.make ~rows:6 ~cols:6 in
+  let pi =
+    Qr_perm.Grid_perm.of_coord_map grid (fun (r, c) -> (r, (c + 1) mod 6))
+  in
+  let sigmas = Qr_route.Local_grid_route.sigmas grid pi in
+  let r1, r2, r3 = Grid_route.round_depths grid pi sigmas in
+  checki "round 1 empty" 0 r1;
+  checkb "round 2 does the work" true (r2 > 0);
+  checki "round 3 empty" 0 r3
+
+let naive_route_property =
+  QCheck.Test.make ~name:"naive GridRoute correct on random instances"
+    ~count:200
+    QCheck.(triple (int_range 1 7) (int_range 1 7) (int_range 0 100000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let rng = Rng.create seed in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let s = Grid_route.route_naive grid pi in
+      Schedule.is_valid (Grid.graph grid) s
+      && Schedule.realizes ~n:(m * n) s pi
+      && Schedule.depth s <= (2 * m) + n)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "grid_route"
+    [
+      ( "column_graph",
+        [
+          Alcotest.test_case "shape" `Quick test_column_graph_shape;
+          Alcotest.test_case "labels" `Quick test_column_graph_labels;
+          Alcotest.test_case "m-regular" `Quick test_column_graph_regular;
+          Alcotest.test_case "bands" `Quick test_edges_in_band;
+        ] );
+      ( "grid_route",
+        [
+          Alcotest.test_case "routes everything" `Quick test_naive_routes_everything;
+          Alcotest.test_case "euler strategy" `Quick test_naive_euler_strategy;
+          Alcotest.test_case "identity free" `Quick test_identity_routes_empty;
+          Alcotest.test_case "check_sigmas" `Quick test_check_sigmas_detects_bad;
+          Alcotest.test_case "sigmas_of_assignment" `Quick
+            test_sigmas_of_assignment_valid;
+          Alcotest.test_case "bad row assignment" `Quick
+            test_sigmas_of_assignment_rejects_bad_rows;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound_three_phases;
+          Alcotest.test_case "round depths sum" `Quick test_round_depths_sum;
+          Alcotest.test_case "row-local rounds" `Quick
+            test_round_depths_row_local;
+          qc naive_route_property;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* Tests for the hardware-flavoured additions: Unitary extraction,
+   non-grid topologies (heavy-hex, Falcon-27), annealed placement. *)
+
+open Qroute
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------------------------------------------------------------- Unitary *)
+
+let test_unitary_identity () =
+  let u = Unitary.of_circuit (Circuit.create ~num_qubits:2 []) in
+  checkb "is unitary" true (Unitary.is_unitary u);
+  Alcotest.check (Alcotest.float 1e-12) "diag" 1. (fst (Unitary.entry u ~row:0 ~col:0));
+  Alcotest.check (Alcotest.float 1e-12) "off-diag" 0.
+    (fst (Unitary.entry u ~row:1 ~col:0))
+
+let test_unitary_x_matrix () =
+  let u =
+    Unitary.of_circuit (Circuit.create ~num_qubits:1 [ Gate.One (Gate.X, 0) ])
+  in
+  Alcotest.check (Alcotest.float 1e-12) "X01" 1. (fst (Unitary.entry u ~row:1 ~col:0));
+  Alcotest.check (Alcotest.float 1e-12) "X00" 0. (fst (Unitary.entry u ~row:0 ~col:0))
+
+let test_unitary_all_library_circuits_unitary () =
+  List.iter
+    (fun c -> checkb "unitary" true (Unitary.is_unitary (Unitary.of_circuit c)))
+    [ Library.qft 4; Library.ghz 5;
+      Library.ising_trotter_2d (Grid.make ~rows:2 ~cols:2) ~steps:2 ~theta:0.7;
+      Library.random_two_qubit (Rng.create 1) ~num_qubits:5 ~gates:20 ]
+
+let test_unitary_global_phase_equivalence () =
+  (* Z = e^{i pi/2} Rz(pi): equal only up to phase. *)
+  let z = Unitary.of_circuit (Circuit.create ~num_qubits:1 [ Gate.One (Gate.Z, 0) ]) in
+  let rz =
+    Unitary.of_circuit
+      (Circuit.create ~num_qubits:1 [ Gate.One (Gate.Rz Float.pi, 0) ])
+  in
+  checkb "Z ~ Rz(pi)" true (Unitary.equal_up_to_phase z rz);
+  let x = Unitary.of_circuit (Circuit.create ~num_qubits:1 [ Gate.One (Gate.X, 0) ]) in
+  checkb "Z <> X" false (Unitary.equal_up_to_phase z x)
+
+let test_unitary_transpiled_qft_exact () =
+  (* The strongest end-to-end statement: transpiled QFT's unitary equals
+     the logical QFT's unitary after relabeling by the layouts. *)
+  let grid = Grid.make ~rows:2 ~cols:3 in
+  let logical = Library.qft 6 in
+  let result = transpile grid logical in
+  let u_logical = Unitary.of_circuit logical in
+  let u_physical = Unitary.of_circuit result.physical in
+  (* Exhaustive basis-state comparison (equivalent to matrix equality,
+     layout relabelings included), plus unitarity of both matrices. *)
+  let n = 6 in
+  let ok = ref true in
+  for k = 0 to (1 lsl n) - 1 do
+    let psi = Statevector.basis_state n k in
+    let out_logical = Statevector.run logical psi in
+    let placed =
+      Statevector.permute_qubits psi (Layout.to_phys_array result.initial)
+    in
+    let out_phys = Statevector.run result.physical placed in
+    let back = Array.init n (fun v -> Layout.logical result.final v) in
+    if
+      not
+        (Statevector.approx_equal out_logical
+           (Statevector.permute_qubits out_phys back))
+    then ok := false
+  done;
+  checkb "exact on every basis state" true !ok;
+  checkb "physical matrix is unitary" true (Unitary.is_unitary u_physical);
+  checkb "logical matrix is unitary" true (Unitary.is_unitary u_logical)
+
+let test_unitary_qubit_permutation_matches_relabeled_circuit () =
+  (* Conjugating by a relabeling = the unitary of the circuit with its
+     wires renamed. *)
+  let p = [| 1; 2; 0 |] in
+  let c =
+    Circuit.create ~num_qubits:3
+      [ Gate.One (Gate.H, 0); Gate.Two (Gate.CX, 0, 1); Gate.One (Gate.T, 2) ]
+  in
+  let relabeled = Unitary.apply_qubit_permutation (Unitary.of_circuit c) p in
+  let renamed = Unitary.of_circuit (Circuit.map_qubits (fun q -> p.(q)) c) in
+  checkb "conjugation = wire renaming" true
+    (Unitary.equal_up_to_phase relabeled renamed);
+  (* And conjugating the identity circuit is a no-op. *)
+  let u_id = Unitary.of_circuit (Circuit.create ~num_qubits:3 []) in
+  checkb "identity fixed" true
+    (Unitary.equal_up_to_phase u_id (Unitary.apply_qubit_permutation u_id p))
+
+let test_unitary_rejects_large () =
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Unitary.of_circuit: too many qubits") (fun () ->
+      ignore (Unitary.of_circuit (Circuit.create ~num_qubits:9 [])))
+
+(* --------------------------------------------------------------- Topology *)
+
+let test_heavy_hex_structure () =
+  let hh = Topology.heavy_hex ~rows:3 ~cols:5 in
+  checkb "connected" true (Graph.is_connected hh.graph);
+  checkb "max degree 3" true (Graph.max_degree hh.graph <= 3);
+  checki "row qubits first" 15 (hh.data_rows * hh.row_length);
+  List.iter
+    (fun (bridge, upper, lower) ->
+      checki "bridge degree 2" 2 (Graph.degree hh.graph bridge);
+      checkb "bridge edges exist" true
+        (Graph.mem_edge hh.graph bridge upper
+        && Graph.mem_edge hh.graph bridge lower))
+    hh.bridges
+
+let test_heavy_hex_small () =
+  let hh = Topology.heavy_hex ~rows:2 ~cols:1 in
+  checkb "still connected" true (Graph.is_connected hh.graph)
+
+let test_heavy_hex_routable () =
+  let hh = Topology.heavy_hex ~rows:3 ~cols:4 in
+  let g = hh.graph in
+  let n = Graph.num_vertices g in
+  let oracle = Distance.of_graph g in
+  let rng = Rng.create 3 in
+  for _ = 1 to 5 do
+    let pi = Perm.check (Rng.permutation rng n) in
+    let sched = Parallel_ats.route ~trials:1 g oracle pi in
+    checkb "valid" true (Schedule.is_valid g sched);
+    checkb "realizes" true (Schedule.realizes ~n sched pi)
+  done
+
+let test_falcon_27 () =
+  let g = Topology.ibm_falcon_27 () in
+  checki "qubits" 27 (Graph.num_vertices g);
+  checki "couplers" 28 (Graph.num_edges g);
+  checkb "connected" true (Graph.is_connected g);
+  checkb "max degree 3" true (Graph.max_degree g <= 3)
+
+let test_falcon_transpile () =
+  let g = Topology.ibm_falcon_27 () in
+  let oracle = Distance.of_graph g in
+  let rng = Rng.create 4 in
+  let c = Library.random_two_qubit rng ~num_qubits:27 ~gates:60 in
+  let r = Sabre_lite.run ~graph:g ~dist:oracle c in
+  checkb "feasible on falcon" true (Circuit.is_feasible g r.physical);
+  checki "gates preserved" (Circuit.size c)
+    (Circuit.size r.physical - Circuit.swap_count r.physical)
+
+let test_ladder () =
+  let g = Topology.ladder 5 in
+  checki "vertices" 10 (Graph.num_vertices g);
+  checki "edges" 13 (Graph.num_edges g)
+
+(* --------------------------------------------------------------- Annealing *)
+
+let test_anneal_never_worse () =
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let dist = Distance.of_grid grid in
+  let rng = Rng.create 5 in
+  for seed = 0 to 4 do
+    let c = Library.random_local_two_qubit rng ~grid ~radius:2 ~gates:40 in
+    let start = Layout.random (Rng.create (70 + seed)) 16 in
+    let annealed =
+      Placement.anneal ~iterations:2000 ~rng:(Rng.create seed) ~dist c start
+    in
+    checkb "valid layout" true
+      (Perm.is_permutation (Layout.to_phys_array annealed));
+    checkb "cost never worse" true
+      (Placement.placement_cost ~dist c annealed
+      <= Placement.placement_cost ~dist c start)
+  done
+
+let test_anneal_improves_greedy_or_ties () =
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let dist = Distance.of_grid grid in
+  let rng = Rng.create 6 in
+  let c = Library.random_local_two_qubit rng ~grid ~radius:1 ~gates:60 in
+  let greedy = Placement.place ~graph:(Grid.graph grid) ~dist c in
+  let refined =
+    Placement.anneal ~iterations:5000 ~rng:(Rng.create 1) ~dist c greedy
+  in
+  checkb "refinement monotone" true
+    (Placement.placement_cost ~dist c refined
+    <= Placement.placement_cost ~dist c greedy)
+
+let test_anneal_trivial_cases () =
+  let grid = Grid.make ~rows:1 ~cols:1 in
+  let dist = Distance.of_grid grid in
+  let c = Circuit.create ~num_qubits:1 [] in
+  let layout = Layout.identity 1 in
+  let out = Placement.anneal ~iterations:10 ~rng:(Rng.create 0) ~dist c layout in
+  checkb "singleton survives" true (Layout.equal out layout)
+
+let () =
+  Alcotest.run "hardware"
+    [
+      ( "unitary",
+        [
+          Alcotest.test_case "identity" `Quick test_unitary_identity;
+          Alcotest.test_case "X matrix" `Quick test_unitary_x_matrix;
+          Alcotest.test_case "library unitary" `Quick
+            test_unitary_all_library_circuits_unitary;
+          Alcotest.test_case "global phase" `Quick
+            test_unitary_global_phase_equivalence;
+          Alcotest.test_case "transpiled qft exact" `Quick
+            test_unitary_transpiled_qft_exact;
+          Alcotest.test_case "conjugation = renaming" `Quick
+            test_unitary_qubit_permutation_matches_relabeled_circuit;
+          Alcotest.test_case "rejects large" `Quick test_unitary_rejects_large;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "heavy-hex structure" `Quick test_heavy_hex_structure;
+          Alcotest.test_case "heavy-hex small" `Quick test_heavy_hex_small;
+          Alcotest.test_case "heavy-hex routable" `Quick test_heavy_hex_routable;
+          Alcotest.test_case "falcon-27" `Quick test_falcon_27;
+          Alcotest.test_case "falcon transpile" `Quick test_falcon_transpile;
+          Alcotest.test_case "ladder" `Quick test_ladder;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "never worse" `Quick test_anneal_never_worse;
+          Alcotest.test_case "refines greedy" `Quick
+            test_anneal_improves_greedy_or_ties;
+          Alcotest.test_case "trivial" `Quick test_anneal_trivial_cases;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for Qr_route.Local_grid_route (Algorithms 1 and 2 of the paper). *)
+
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Generators = Qr_perm.Generators
+module Schedule = Qr_route.Schedule
+module Column_graph = Qr_route.Column_graph
+module Grid_route = Qr_route.Grid_route
+module Local = Qr_route.Local_grid_route
+module Decompose = Qr_bipartite.Decompose
+module Rng = Qr_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let grids = [ (1, 1); (1, 6); (6, 1); (2, 2); (3, 5); (5, 3); (6, 6) ]
+
+let test_routes_all_kinds () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      List.iter
+        (fun kind ->
+          let pi = Generators.generate grid kind rng in
+          let s = Local.route grid pi in
+          checkb "valid" true (Schedule.is_valid (Grid.graph grid) s);
+          checkb "realizes" true (Schedule.realizes ~n:(m * n) s pi))
+        (Generators.paper_kinds grid @ [ Generators.Reversal ]))
+    grids
+
+let test_best_orientation_correct () =
+  let rng = Rng.create 2 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      for _ = 1 to 5 do
+        let pi = Perm.check (Rng.permutation rng (m * n)) in
+        let s = Local.route_best_orientation grid pi in
+        checkb "valid on original grid" true (Schedule.is_valid (Grid.graph grid) s);
+        checkb "realizes" true (Schedule.realizes ~n:(m * n) s pi)
+      done)
+    grids
+
+let test_best_orientation_no_worse () =
+  let rng = Rng.create 3 in
+  let grid = Grid.make ~rows:3 ~cols:7 in
+  for _ = 1 to 10 do
+    let pi = Perm.check (Rng.permutation rng 21) in
+    let direct = Local.route grid pi in
+    let best = Local.route_best_orientation grid pi in
+    checkb "min of both orientations" true
+      (Schedule.depth best <= Schedule.depth direct)
+  done
+
+let test_discovery_partitions_edges () =
+  let rng = Rng.create 4 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let cg = Column_graph.build grid pi in
+      List.iter
+        (fun strategy ->
+          let matchings = Local.discover_matchings strategy cg in
+          checki "m matchings" m (List.length matchings);
+          checkb "partition of edges" true
+            (Decompose.validate ~nl:n ~nr:n
+               ~edges:(Column_graph.hk_edges cg) matchings))
+        [ Local.Doubling; Local.Whole ])
+    [ (2, 2); (4, 4); (3, 6); (6, 3); (1, 5) ]
+
+let test_doubling_finds_row_local_at_w0 () =
+  (* For a permutation whose every row maps to itself with distinct
+     destination columns (row-wise cyclic shift), every matching can be
+     found in a single-row band, and each matching's edges then live in
+     one row. *)
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let pi =
+    Qr_perm.Grid_perm.of_coord_map grid (fun (r, c) -> (r, (c + 1) mod 4))
+  in
+  let cg = Column_graph.build grid pi in
+  let matchings = Local.discover_matchings Local.Doubling cg in
+  checki "4 matchings" 4 (List.length matchings);
+  List.iter
+    (fun matching ->
+      let rows =
+        Array.to_list matching
+        |> List.map (fun e -> Column_graph.src_row cg e)
+        |> List.sort_uniq compare
+      in
+      checki "edges confined to one source row" 1 (List.length rows))
+    matchings
+
+let test_delta_metric () =
+  let grid = Grid.make ~rows:3 ~cols:2 in
+  (* Identity: column multigraph has edges j->j labeled (i,i). *)
+  let pi = Perm.identity 6 in
+  let cg = Column_graph.build grid pi in
+  (* Matching of the two row-0 edges: labels (0,0) twice. *)
+  let matching = [| Grid.index grid 0 0; Grid.index grid 0 1 |] in
+  checki "delta at row 0" 0 (Local.delta cg matching 0);
+  checki "delta at row 1" 4 (Local.delta cg matching 1);
+  checki "delta at row 2" 8 (Local.delta cg matching 2)
+
+let test_mcbbm_assignment_is_permutation () =
+  let rng = Rng.create 5 in
+  let grid = Grid.make ~rows:5 ~cols:4 in
+  let pi = Perm.check (Rng.permutation rng 20) in
+  let cg = Column_graph.build grid pi in
+  let matchings = Local.discover_matchings Local.Doubling cg in
+  let rows = Local.assign_rows Local.Mcbbm cg matchings in
+  checkb "row assignment is a permutation" true (Perm.is_permutation rows)
+
+let test_mcbbm_bottleneck_no_worse_than_arbitrary () =
+  (* The MCBBM assignment minimizes the max Delta, so it is <= the max
+     Delta of the arbitrary assignment. *)
+  let rng = Rng.create 6 in
+  for _ = 1 to 10 do
+    let grid = Grid.make ~rows:5 ~cols:5 in
+    let pi = Perm.check (Rng.permutation rng 25) in
+    let cg = Column_graph.build grid pi in
+    let matchings = Local.discover_matchings Local.Doubling cg in
+    let max_delta rows =
+      List.mapi (fun k m -> Local.delta cg m rows.(k)) matchings
+      |> List.fold_left max 0
+    in
+    let mcbbm = Local.assign_rows Local.Mcbbm cg matchings in
+    let arbitrary = Local.assign_rows Local.Arbitrary cg matchings in
+    checkb "bottleneck optimal" true (max_delta mcbbm <= max_delta arbitrary)
+  done
+
+let test_row_local_permutation_is_cheap () =
+  (* Cyclic column shift within each row: a locality-aware router should
+     route it in about n layers (one row phase), far below the 2m + n
+     worst case, and crucially with empty column phases. *)
+  let grid = Grid.make ~rows:8 ~cols:8 in
+  let pi =
+    Qr_perm.Grid_perm.of_coord_map grid (fun (r, c) -> (r, (c + 1) mod 8))
+  in
+  let s = Local.route grid pi in
+  checkb "no column phase needed" true (Schedule.depth s <= 8)
+
+let test_block_local_beats_or_ties_naive_usually () =
+  (* The headline behaviour: on block-local workloads the locality-aware
+     router should never be dramatically worse than naive; we assert the
+     paper's "can always be made no worse" via the min with naive. *)
+  let rng = Rng.create 7 in
+  let grid = Grid.make ~rows:8 ~cols:8 in
+  for _ = 1 to 5 do
+    let pi = Generators.generate grid (Generators.Block_local 2) rng in
+    let local = Local.route_best_orientation grid pi in
+    let naive = Grid_route.route_naive grid pi in
+    let best = min (Schedule.depth local) (Schedule.depth naive) in
+    checkb "combined strategy no worse than naive" true
+      (best <= Schedule.depth naive)
+  done
+
+let test_ablation_switches_work () =
+  let rng = Rng.create 8 in
+  let grid = Grid.make ~rows:4 ~cols:6 in
+  let pi = Perm.check (Rng.permutation rng 24) in
+  List.iter
+    (fun (discovery, assignment) ->
+      let s = Local.route ~discovery ~assignment grid pi in
+      checkb "every configuration routes" true (Schedule.realizes ~n:24 s pi))
+    [
+      (Local.Doubling, Local.Mcbbm);
+      (Local.Doubling, Local.Arbitrary);
+      (Local.Whole, Local.Mcbbm);
+      (Local.Whole, Local.Arbitrary);
+    ]
+
+let local_route_property =
+  QCheck.Test.make ~name:"LocalGridRoute correct on random instances"
+    ~count:150
+    QCheck.(triple (int_range 1 7) (int_range 1 7) (int_range 0 100000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let rng = Rng.create seed in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let s = Local.route grid pi in
+      Schedule.is_valid (Grid.graph grid) s
+      && Schedule.realizes ~n:(m * n) s pi
+      && Schedule.depth s <= (2 * m) + n)
+
+let best_orientation_property =
+  QCheck.Test.make ~name:"Algorithm 1 correct and bounded by both orientations"
+    ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 0 100000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let rng = Rng.create seed in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let s = Local.route_best_orientation grid pi in
+      Schedule.is_valid (Grid.graph grid) s
+      && Schedule.realizes ~n:(m * n) s pi
+      && Schedule.depth s <= min ((2 * m) + n) ((2 * n) + m))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "local_grid_route"
+    [
+      ( "local_grid_route",
+        [
+          Alcotest.test_case "routes all kinds" `Quick test_routes_all_kinds;
+          Alcotest.test_case "best orientation correct" `Quick
+            test_best_orientation_correct;
+          Alcotest.test_case "best orientation no worse" `Quick
+            test_best_orientation_no_worse;
+          Alcotest.test_case "discovery partitions" `Quick
+            test_discovery_partitions_edges;
+          Alcotest.test_case "w=0 bands for row-local" `Quick
+            test_doubling_finds_row_local_at_w0;
+          Alcotest.test_case "delta metric" `Quick test_delta_metric;
+          Alcotest.test_case "mcbbm permutation" `Quick
+            test_mcbbm_assignment_is_permutation;
+          Alcotest.test_case "mcbbm bottleneck optimal" `Quick
+            test_mcbbm_bottleneck_no_worse_than_arbitrary;
+          Alcotest.test_case "row-local cheap" `Quick
+            test_row_local_permutation_is_cheap;
+          Alcotest.test_case "block-local vs naive" `Quick
+            test_block_local_beats_or_ties_naive_usually;
+          Alcotest.test_case "ablation switches" `Quick test_ablation_switches_work;
+          qc local_route_property;
+          qc best_orientation_property;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the SABRE-style swap-insertion transpiler. *)
+
+open Qroute
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let equivalent_result grid logical (result : Transpile.result) seed =
+  let n = Grid.size grid in
+  let psi = Statevector.random_state (Rng.create seed) n in
+  let out_logical = Statevector.run logical psi in
+  let placed =
+    Statevector.permute_qubits psi (Layout.to_phys_array result.initial)
+  in
+  let out_phys = Statevector.run result.physical placed in
+  let back = Array.init n (fun v -> Layout.logical result.final v) in
+  Statevector.approx_equal out_logical
+    (Statevector.permute_qubits out_phys back)
+
+let test_feasible_circuit_untouched () =
+  let grid = Grid.make ~rows:2 ~cols:3 in
+  let c = Library.ising_trotter_2d grid ~steps:1 ~theta:0.3 in
+  let r = Sabre_lite.run_grid grid c in
+  checki "no swaps" 0 (Circuit.swap_count r.physical);
+  checki "same size" (Circuit.size c) (Circuit.size r.physical);
+  checkb "feasible" true (Circuit.is_feasible (Grid.graph grid) r.physical)
+
+let test_single_distant_gate () =
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let c = Circuit.create ~num_qubits:9 [ Gate.Two (Gate.CX, 0, 8) ] in
+  let r = Sabre_lite.run_grid grid c in
+  checkb "feasible" true (Circuit.is_feasible (Grid.graph grid) r.physical);
+  checkb "swaps inserted" true (Circuit.swap_count r.physical > 0);
+  checki "cx survives" 1
+    (List.length
+       (List.filter
+          (fun g -> match g with Gate.Two (Gate.CX, _, _) -> true | _ -> false)
+          (Circuit.gates r.physical)))
+
+let test_gate_count_preserved () =
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let rng = Rng.create 1 in
+  let c = Library.random_two_qubit rng ~num_qubits:9 ~gates:50 in
+  let r = Sabre_lite.run_grid grid c in
+  checki "logical gates preserved" (Circuit.size c)
+    (Circuit.size r.physical - Circuit.swap_count r.physical)
+
+let test_dependency_order_respected () =
+  (* Two CX gates sharing a qubit must stay ordered even with routing in
+     between; correctness is checked by exact simulation. *)
+  let grid = Grid.make ~rows:2 ~cols:3 in
+  let c =
+    Circuit.create ~num_qubits:6
+      [ Gate.Two (Gate.CX, 0, 5); Gate.Two (Gate.CX, 5, 3);
+        Gate.One (Gate.H, 5); Gate.Two (Gate.CX, 3, 0) ]
+  in
+  let r = Sabre_lite.run_grid grid c in
+  checkb "equivalent" true (equivalent_result grid c r 11)
+
+let test_statevector_equivalence_suite () =
+  let grid = Grid.make ~rows:2 ~cols:4 in
+  let rng = Rng.create 2 in
+  for seed = 0 to 4 do
+    let c = Library.random_two_qubit rng ~num_qubits:8 ~gates:30 in
+    let r = Sabre_lite.run_grid grid c in
+    checkb "feasible" true (Circuit.is_feasible (Grid.graph grid) r.physical);
+    checkb "equivalent" true (equivalent_result grid c r seed)
+  done
+
+let test_qft_on_line () =
+  (* The stress case: all-to-all circuit on a path. *)
+  let grid = Grid.make ~rows:1 ~cols:7 in
+  let c = Library.qft 7 in
+  let r = Sabre_lite.run_grid grid c in
+  checkb "feasible" true (Circuit.is_feasible (Grid.graph grid) r.physical);
+  checkb "equivalent" true (equivalent_result grid c r 3)
+
+let test_initial_layout_respected () =
+  let grid = Grid.make ~rows:2 ~cols:2 in
+  let initial = Layout.of_phys_of_logical [| 3; 2; 1; 0 |] in
+  let c = Circuit.create ~num_qubits:4 [ Gate.Two (Gate.CX, 0, 1) ] in
+  let r = Sabre_lite.run_grid ~initial grid c in
+  checki "no swaps needed" 0 (Circuit.swap_count r.physical);
+  checkb "layout kept" true (Layout.equal r.initial initial)
+
+let test_lookahead_config () =
+  (* Different configs still give correct results. *)
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let rng = Rng.create 3 in
+  let c = Library.random_two_qubit rng ~num_qubits:9 ~gates:40 in
+  List.iter
+    (fun config ->
+      let r = Sabre_lite.run_grid ~config grid c in
+      checkb "feasible" true (Circuit.is_feasible (Grid.graph grid) r.physical);
+      checkb "equivalent" true (equivalent_result grid c r 7))
+    [ Sabre_lite.default_config;
+      { Sabre_lite.default_config with Sabre_lite.lookahead = 0 };
+      { Sabre_lite.default_config with Sabre_lite.lookahead_weight = 0. };
+      { Sabre_lite.default_config with Sabre_lite.decay = 0.1; decay_reset = 1 } ]
+
+let test_generic_coupling_graph () =
+  let g = Graph.cycle 6 in
+  let oracle = Distance.of_graph g in
+  let rng = Rng.create 4 in
+  let c = Library.random_two_qubit rng ~num_qubits:6 ~gates:20 in
+  let r = Sabre_lite.run ~graph:g ~dist:oracle c in
+  checkb "feasible on cycle" true (Circuit.is_feasible g r.physical)
+
+let test_size_mismatch_rejected () =
+  let grid = Grid.make ~rows:2 ~cols:2 in
+  let c = Circuit.create ~num_qubits:3 [] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Sabre_lite.run: circuit and device sizes differ")
+    (fun () -> ignore (Sabre_lite.run_grid grid c))
+
+let test_comparable_to_slice_transpiler () =
+  (* Both transpilers solve the same instances; neither should be
+     catastrophically worse in swap count (within 4x either way on random
+     mid-size circuits). *)
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let rng = Rng.create 5 in
+  let c = Library.random_two_qubit rng ~num_qubits:9 ~gates:60 in
+  let sabre = Sabre_lite.run_grid grid c in
+  let slice = transpile grid c in
+  let s1 = Circuit.swap_count sabre.physical in
+  let s2 = Circuit.swap_count slice.physical in
+  checkb
+    (Printf.sprintf "swap counts in the same regime (sabre=%d slice=%d)" s1 s2)
+    true
+    (s1 <= 4 * max 1 s2 && s2 <= 4 * max 1 s1)
+
+let sabre_property =
+  QCheck.Test.make ~name:"sabre always yields feasible equivalent circuits"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let grid = Grid.make ~rows:2 ~cols:3 in
+      let rng = Rng.create seed in
+      let c = Library.random_two_qubit rng ~num_qubits:6 ~gates:15 in
+      let r = Sabre_lite.run_grid grid c in
+      Circuit.is_feasible (Grid.graph grid) r.physical
+      && equivalent_result grid c r seed)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sabre_lite"
+    [
+      ( "sabre_lite",
+        [
+          Alcotest.test_case "feasible untouched" `Quick
+            test_feasible_circuit_untouched;
+          Alcotest.test_case "distant gate" `Quick test_single_distant_gate;
+          Alcotest.test_case "gate count" `Quick test_gate_count_preserved;
+          Alcotest.test_case "dependencies" `Quick test_dependency_order_respected;
+          Alcotest.test_case "statevector suite" `Quick
+            test_statevector_equivalence_suite;
+          Alcotest.test_case "qft on line" `Quick test_qft_on_line;
+          Alcotest.test_case "initial layout" `Quick test_initial_layout_respected;
+          Alcotest.test_case "configs" `Quick test_lookahead_config;
+          Alcotest.test_case "generic graph" `Quick test_generic_coupling_graph;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch_rejected;
+          Alcotest.test_case "vs slice transpiler" `Quick
+            test_comparable_to_slice_transpiler;
+          qc sabre_property;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for Qr_route.Schedule. *)
+
+module Graph = Qr_graph.Graph
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Schedule = Qr_route.Schedule
+module Rng = Qr_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_empty () =
+  checki "depth" 0 (Schedule.depth Schedule.empty);
+  checki "size" 0 (Schedule.size Schedule.empty);
+  checkb "realizes identity" true
+    (Schedule.realizes ~n:4 Schedule.empty (Perm.identity 4))
+
+let test_depth_size () =
+  let s = [ [| (0, 1); (2, 3) |]; [| (1, 2) |] ] in
+  checki "depth" 2 (Schedule.depth s);
+  checki "size" 3 (Schedule.size s)
+
+let test_apply_single_swap () =
+  let s = [ [| (0, 1) |] ] in
+  Alcotest.check
+    Alcotest.(array int)
+    "transposition" [| 1; 0; 2 |] (Schedule.apply ~n:3 s)
+
+let test_apply_sequencing () =
+  (* (0,1) then (1,2): token 0 -> 1 -> 2; token 1 -> 0; token 2 -> 1. *)
+  let s = [ [| (0, 1) |]; [| (1, 2) |] ] in
+  Alcotest.check
+    Alcotest.(array int)
+    "three-cycle" [| 2; 0; 1 |] (Schedule.apply ~n:3 s)
+
+let test_apply_rejects_overlap () =
+  Alcotest.check_raises "overlapping layer"
+    (Invalid_argument "Schedule.apply: layer is not a matching") (fun () ->
+      ignore (Schedule.apply ~n:3 [ [| (0, 1); (1, 2) |] ]))
+
+let test_layer_is_matching () =
+  checkb "ok" true (Schedule.layer_is_matching ~n:4 [| (0, 1); (2, 3) |]);
+  checkb "vertex reuse" false (Schedule.layer_is_matching ~n:4 [| (0, 1); (1, 2) |]);
+  checkb "loop" false (Schedule.layer_is_matching ~n:4 [| (2, 2) |]);
+  checkb "range" false (Schedule.layer_is_matching ~n:4 [| (0, 9) |])
+
+let test_is_valid_checks_edges () =
+  let g = Graph.path 4 in
+  checkb "path edges ok" true (Schedule.is_valid g [ [| (0, 1); (2, 3) |] ]);
+  checkb "chord rejected" false (Schedule.is_valid g [ [| (0, 2) |] ])
+
+let test_inverse_realizes_inverse () =
+  let rng = Rng.create 1 in
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let pi = Perm.check (Rng.permutation rng 9) in
+  let s = Qr_route.Local_grid_route.route grid pi in
+  let inv = Schedule.inverse s in
+  checkb "inverse schedule" true
+    (Schedule.realizes ~n:9 inv (Perm.inverse pi))
+
+let test_of_swaps_and_swaps_roundtrip () =
+  let swaps = [ (0, 1); (1, 2); (0, 3) ] in
+  let s = Schedule.of_swaps swaps in
+  checki "one per layer" 3 (Schedule.depth s);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "roundtrip" swaps (Schedule.swaps s)
+
+let test_concat () =
+  let a = [ [| (0, 1) |] ] and b = [ [| (2, 3) |] ] in
+  let s = Schedule.concat a b in
+  checki "depth adds" 2 (Schedule.depth s)
+
+let test_compact_packs_disjoint () =
+  let s = Schedule.of_swaps [ (0, 1); (2, 3); (4, 5) ] in
+  let c = Schedule.compact ~n:6 s in
+  checki "single layer" 1 (Schedule.depth c);
+  checki "size kept" 3 (Schedule.size c)
+
+let test_compact_respects_conflicts () =
+  let s = Schedule.of_swaps [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Schedule.compact ~n:4 s in
+  checki "chain stays serial" 3 (Schedule.depth c)
+
+let test_compact_preserves_permutation () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 20 do
+    let n = 6 in
+    let swaps =
+      List.init 15 (fun _ ->
+          let a = Rng.int rng n in
+          let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+          (a, b))
+    in
+    let s = Schedule.of_swaps swaps in
+    let c = Schedule.compact ~n s in
+    checkb "same permutation" true
+      (Perm.equal (Schedule.apply ~n s) (Schedule.apply ~n c));
+    checkb "never deeper" true (Schedule.depth c <= Schedule.depth s);
+    checki "same size" (Schedule.size s) (Schedule.size c)
+  done
+
+let test_map_vertices () =
+  let s = [ [| (0, 1) |] ] in
+  let m = Schedule.map_vertices (fun v -> v + 2) s in
+  Alcotest.check
+    Alcotest.(array int)
+    "shifted" [| 0; 1; 3; 2 |] (Schedule.apply ~n:4 m)
+
+let compact_idempotent =
+  QCheck.Test.make ~name:"compact is idempotent" ~count:200
+    QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+    (fun pairs ->
+      let swaps = List.filter (fun (a, b) -> a <> b) pairs in
+      let c = Schedule.compact ~n:8 (Schedule.of_swaps swaps) in
+      let cc = Schedule.compact ~n:8 c in
+      Schedule.depth c = Schedule.depth cc && Schedule.size c = Schedule.size cc)
+
+let compact_layers_are_matchings =
+  QCheck.Test.make ~name:"compact yields matching layers" ~count:200
+    QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+    (fun pairs ->
+      let swaps = List.filter (fun (a, b) -> a <> b) pairs in
+      let c = Schedule.compact ~n:8 (Schedule.of_swaps swaps) in
+      List.for_all (fun layer -> Schedule.layer_is_matching ~n:8 layer) c)
+
+let apply_of_inverse_composes_to_identity =
+  QCheck.Test.make ~name:"schedule then inverse = identity" ~count:100
+    QCheck.(small_list (pair (int_bound 5) (int_bound 5)))
+    (fun pairs ->
+      let swaps = List.filter (fun (a, b) -> a <> b) pairs in
+      let s = Schedule.of_swaps swaps in
+      let round_trip = Schedule.concat s (Schedule.inverse s) in
+      Perm.is_identity (Schedule.apply ~n:6 round_trip))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "schedule"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "depth/size" `Quick test_depth_size;
+          Alcotest.test_case "apply single" `Quick test_apply_single_swap;
+          Alcotest.test_case "apply sequencing" `Quick test_apply_sequencing;
+          Alcotest.test_case "apply rejects overlap" `Quick
+            test_apply_rejects_overlap;
+          Alcotest.test_case "layer_is_matching" `Quick test_layer_is_matching;
+          Alcotest.test_case "is_valid edges" `Quick test_is_valid_checks_edges;
+          Alcotest.test_case "inverse" `Quick test_inverse_realizes_inverse;
+          Alcotest.test_case "of_swaps/swaps" `Quick
+            test_of_swaps_and_swaps_roundtrip;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "compact packs" `Quick test_compact_packs_disjoint;
+          Alcotest.test_case "compact conflicts" `Quick
+            test_compact_respects_conflicts;
+          Alcotest.test_case "compact preserves" `Quick
+            test_compact_preserves_permutation;
+          Alcotest.test_case "map_vertices" `Quick test_map_vertices;
+          qc compact_idempotent;
+          qc compact_layers_are_matchings;
+          qc apply_of_inverse_composes_to_identity;
+        ] );
+    ]

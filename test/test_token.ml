@@ -1,0 +1,299 @@
+(* Tests for Qr_token: Token_swap, Parallel_ats, Exact, Parallelize. *)
+
+module Graph = Qr_graph.Graph
+module Grid = Qr_graph.Grid
+module Distance = Qr_graph.Distance
+module Perm = Qr_perm.Perm
+module Generators = Qr_perm.Generators
+module Schedule = Qr_route.Schedule
+module Token_swap = Qr_token.Token_swap
+module Parallel_ats = Qr_token.Parallel_ats
+module Exact = Qr_token.Exact
+module Parallelize = Qr_token.Parallelize
+module Rng = Qr_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let apply_swaps n pi swaps =
+  let dest_at = Array.copy pi in
+  List.iter
+    (fun (u, v) ->
+      let tmp = dest_at.(u) in
+      dest_at.(u) <- dest_at.(v);
+      dest_at.(v) <- tmp)
+    swaps;
+  Perm.is_identity (Perm.check dest_at) && n = Array.length pi
+
+(* ------------------------------------------------------------- Token_swap *)
+
+let test_serial_identity () =
+  let g = Graph.path 5 in
+  let swaps = Token_swap.serial g (Distance.of_graph g) (Perm.identity 5) in
+  checki "no swaps" 0 (List.length swaps)
+
+let test_serial_adjacent_transposition () =
+  let g = Graph.path 3 in
+  let pi = Perm.transposition 3 0 1 in
+  let swaps = Token_swap.serial g (Distance.of_graph g) pi in
+  Alcotest.check Alcotest.(list (pair int int)) "single swap" [ (0, 1) ] swaps
+
+let test_serial_swaps_are_edges () =
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let g = Grid.graph grid in
+  let rng = Rng.create 1 in
+  let pi = Perm.check (Rng.permutation rng 16) in
+  let swaps = Token_swap.serial g (Distance.of_grid grid) pi in
+  List.iter (fun (u, v) -> checkb "edge" true (Graph.mem_edge g u v)) swaps;
+  checkb "realizes" true (apply_swaps 16 pi swaps)
+
+let test_serial_respects_4x_bound_on_small () =
+  (* Against the exact optimum on small instances (theoretical guarantee). *)
+  let graphs = [ Graph.path 5; Graph.cycle 5; Graph.star 5;
+                 Grid.graph (Grid.make ~rows:2 ~cols:3) ] in
+  let rng = Rng.create 2 in
+  List.iter
+    (fun g ->
+      let n = Graph.num_vertices g in
+      let oracle = Distance.of_graph g in
+      for _ = 1 to 10 do
+        let pi = Perm.check (Rng.permutation rng n) in
+        let opt = Exact.min_swaps g pi in
+        let ats = List.length (Token_swap.serial g oracle pi) in
+        checkb "within 4x of optimum" true (ats <= 4 * max 1 opt);
+        checkb "at least optimum" true (ats >= opt)
+      done)
+    graphs
+
+let test_serial_lower_bound () =
+  let grid = Grid.make ~rows:5 ~cols:5 in
+  let g = Grid.graph grid in
+  let oracle = Distance.of_grid grid in
+  let rng = Rng.create 3 in
+  for _ = 1 to 10 do
+    let pi = Perm.check (Rng.permutation rng 25) in
+    let lb = Token_swap.swap_count_lower_bound oracle pi in
+    let ats = List.length (Token_swap.serial g oracle pi) in
+    checkb ">= sum-distance/2" true (ats >= lb)
+  done
+
+let test_serial_trials_never_worse () =
+  let grid = Grid.make ~rows:5 ~cols:5 in
+  let g = Grid.graph grid in
+  let oracle = Distance.of_grid grid in
+  let rng = Rng.create 4 in
+  for _ = 1 to 5 do
+    let pi = Perm.check (Rng.permutation rng 25) in
+    let one = List.length (Token_swap.serial ~trials:1 g oracle pi) in
+    let four = List.length (Token_swap.serial ~trials:4 ~seed:7 g oracle pi) in
+    checkb "extra trials can only help" true (four <= one)
+  done
+
+let test_serial_rejects_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Token_swap.serial: graph must be connected") (fun () ->
+      ignore (Token_swap.serial g (Distance.of_graph g) (Perm.identity 4)))
+
+let test_serial_reversal_on_path_is_optimal_class () =
+  (* Reversal of P_n costs exactly n(n-1)/2 swaps (bubble sort bound); the
+     4-approx should stay within 4x, and in practice lands exactly there. *)
+  let g = Graph.path 6 in
+  let pi = Perm.check (Array.init 6 (fun i -> 5 - i)) in
+  let swaps = Token_swap.serial g (Distance.of_graph g) pi in
+  checkb "within 4x of 15" true (List.length swaps <= 60);
+  checkb ">= 15" true (List.length swaps >= 15);
+  checkb "realizes" true (apply_swaps 6 pi swaps)
+
+let serial_property =
+  QCheck.Test.make ~name:"serial ATS realizes pi with edge swaps" ~count:150
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_range 0 100000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let g = Grid.graph grid in
+      let rng = Rng.create seed in
+      let pi = Perm.check (Rng.permutation rng (m * n)) in
+      let swaps = Token_swap.serial g (Distance.of_grid grid) pi in
+      apply_swaps (m * n) pi swaps
+      && List.for_all (fun (u, v) -> Graph.mem_edge g u v) swaps)
+
+(* ----------------------------------------------------------- Parallel_ats *)
+
+let test_parallel_realizes () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let g = Grid.graph grid in
+      let oracle = Distance.of_grid grid in
+      List.iter
+        (fun kind ->
+          let pi = Generators.generate grid kind rng in
+          let s = Parallel_ats.route ~trials:2 g oracle pi in
+          checkb "valid" true (Schedule.is_valid g s);
+          checkb "realizes" true (Schedule.realizes ~n:(m * n) s pi))
+        (Generators.paper_kinds grid))
+    [ (2, 2); (4, 4); (3, 5); (1, 6) ]
+
+let test_parallel_identity_free () =
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let s =
+    Parallel_ats.route (Grid.graph grid) (Distance.of_grid grid)
+      (Perm.identity 9)
+  in
+  checki "no layers" 0 (Schedule.depth s)
+
+let test_parallel_deterministic () =
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let g = Grid.graph grid in
+  let oracle = Distance.of_grid grid in
+  let pi = Generators.generate grid Generators.Reversal (Rng.create 0) in
+  let a = Parallel_ats.route ~trials:2 ~seed:3 g oracle pi in
+  let b = Parallel_ats.route ~trials:2 ~seed:3 g oracle pi in
+  checki "same depth for same seed" (Schedule.depth a) (Schedule.depth b);
+  checki "same size for same seed" (Schedule.size a) (Schedule.size b)
+
+let test_parallel_depth_at_least_displacement () =
+  let grid = Grid.make ~rows:5 ~cols:5 in
+  let g = Grid.graph grid in
+  let oracle = Distance.of_grid grid in
+  let rng = Rng.create 6 in
+  for _ = 1 to 5 do
+    let pi = Perm.check (Rng.permutation rng 25) in
+    let s = Parallel_ats.route ~trials:1 g oracle pi in
+    checkb "depth >= max displacement" true
+      (Schedule.depth s >= Perm.max_distance (fun u v -> Distance.dist oracle u v) pi)
+  done
+
+(* ------------------------------------------------------------------ Exact *)
+
+let test_exact_identity () =
+  checki "zero" 0 (Exact.min_swaps (Graph.path 4) (Perm.identity 4));
+  checki "zero depth" 0 (Exact.min_depth (Graph.path 4) (Perm.identity 4))
+
+let test_exact_transposition () =
+  let g = Graph.path 3 in
+  checki "adjacent" 1 (Exact.min_swaps g (Perm.transposition 3 0 1));
+  (* Swapping the two endpoints of P_3 takes 3 swaps. *)
+  checki "endpoints" 3 (Exact.min_swaps g (Perm.transposition 3 0 2))
+
+let test_exact_reversal_path () =
+  let g = Graph.path 4 in
+  let pi = Perm.check [| 3; 2; 1; 0 |] in
+  checki "bubble count" 6 (Exact.min_swaps g pi);
+  (* Odd-even achieves reversal of P_4 in 4 matchings; optimal is 4
+     (routing number of reversal on P_n is n). *)
+  checki "depth" 4 (Exact.min_depth g pi)
+
+let test_exact_depth_leq_swaps () =
+  let rng = Rng.create 7 in
+  let g = Grid.graph (Grid.make ~rows:2 ~cols:3) in
+  for _ = 1 to 10 do
+    let pi = Perm.check (Rng.permutation rng 6) in
+    checkb "depth <= swaps" true (Exact.min_depth g pi <= Exact.min_swaps g pi)
+  done
+
+let test_exact_rejects_large () =
+  let g = Graph.path 11 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Exact: graph too large for exhaustive search")
+    (fun () -> ignore (Exact.min_swaps g (Perm.identity 11)))
+
+let test_matchings_of_path () =
+  (* P_3 has edges (0,1),(1,2): non-empty matchings = {01},{12} -> 2. *)
+  checki "P3" 2 (List.length (Exact.matchings_of_graph (Graph.path 3)));
+  (* P_4: {01},{12},{23},{01,23} -> 4. *)
+  checki "P4" 4 (List.length (Exact.matchings_of_graph (Graph.path 4)))
+
+let exact_vs_routers_property =
+  QCheck.Test.make ~name:"routers never beat the exact depth" ~count:40
+    QCheck.(pair (int_range 2 3) (int_range 0 10000))
+    (fun (n, seed) ->
+      let grid = Grid.make ~rows:2 ~cols:n in
+      let g = Grid.graph grid in
+      let rng = Rng.create seed in
+      let pi = Perm.check (Rng.permutation rng (2 * n)) in
+      let optimal = Exact.min_depth g pi in
+      let local = Qr_route.Local_grid_route.route_best_orientation grid pi in
+      let ats = Parallel_ats.route ~trials:1 g (Distance.of_grid grid) pi in
+      Schedule.depth local >= optimal && Schedule.depth ats >= optimal)
+
+(* ------------------------------------------------------------ Parallelize *)
+
+let test_parallelize_schedule () =
+  let swaps = [ (0, 1); (2, 3); (1, 2) ] in
+  let s = Parallelize.schedule ~n:4 swaps in
+  checki "two layers" 2 (Schedule.depth s);
+  checki "all swaps" 3 (Schedule.size s)
+
+let test_parallelism_metric () =
+  let s = [ [| (0, 1); (2, 3) |]; [| (1, 2) |] ] in
+  Alcotest.check (Alcotest.float 1e-9) "avg" 1.5 (Parallelize.parallelism s);
+  Alcotest.check (Alcotest.float 1e-9) "empty" 0.
+    (Parallelize.parallelism Schedule.empty)
+
+let test_layer_sizes () =
+  let s = [ [| (0, 1); (2, 3) |]; [| (1, 2) |] ] in
+  Alcotest.check Alcotest.(array int) "sizes" [| 2; 1 |] (Parallelize.layer_sizes s)
+
+let test_critical_path_equals_asap_depth () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 50 do
+    let n = 8 in
+    let swaps =
+      List.init 20 (fun _ ->
+          let a = Rng.int rng n in
+          let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+          (a, b))
+    in
+    checki "asap achieves critical path"
+      (Parallelize.critical_path ~n swaps)
+      (Schedule.depth (Parallelize.schedule ~n swaps))
+  done
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qr_token"
+    [
+      ( "token_swap",
+        [
+          Alcotest.test_case "identity" `Quick test_serial_identity;
+          Alcotest.test_case "adjacent transposition" `Quick
+            test_serial_adjacent_transposition;
+          Alcotest.test_case "swaps are edges" `Quick test_serial_swaps_are_edges;
+          Alcotest.test_case "4x bound" `Quick test_serial_respects_4x_bound_on_small;
+          Alcotest.test_case "lower bound" `Quick test_serial_lower_bound;
+          Alcotest.test_case "trials help" `Quick test_serial_trials_never_worse;
+          Alcotest.test_case "rejects disconnected" `Quick
+            test_serial_rejects_disconnected;
+          Alcotest.test_case "path reversal" `Quick
+            test_serial_reversal_on_path_is_optimal_class;
+          qc serial_property;
+        ] );
+      ( "parallel_ats",
+        [
+          Alcotest.test_case "realizes" `Quick test_parallel_realizes;
+          Alcotest.test_case "identity free" `Quick test_parallel_identity_free;
+          Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "depth lower bound" `Quick
+            test_parallel_depth_at_least_displacement;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "identity" `Quick test_exact_identity;
+          Alcotest.test_case "transposition" `Quick test_exact_transposition;
+          Alcotest.test_case "path reversal" `Quick test_exact_reversal_path;
+          Alcotest.test_case "depth <= swaps" `Quick test_exact_depth_leq_swaps;
+          Alcotest.test_case "rejects large" `Quick test_exact_rejects_large;
+          Alcotest.test_case "matchings of path" `Quick test_matchings_of_path;
+          qc exact_vs_routers_property;
+        ] );
+      ( "parallelize",
+        [
+          Alcotest.test_case "schedule" `Quick test_parallelize_schedule;
+          Alcotest.test_case "parallelism" `Quick test_parallelism_metric;
+          Alcotest.test_case "layer sizes" `Quick test_layer_sizes;
+          Alcotest.test_case "critical path" `Quick
+            test_critical_path_equals_asap_depth;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* Unit and property tests for Qr_util: Rng, Stats, Heap, Dsu, Timer. *)
+
+module Rng = Qr_util.Rng
+module Stats = Qr_util.Stats
+module Heap = Qr_util.Heap
+module Dsu = Qr_util.Dsu
+module Timer = Qr_util.Timer
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  checkb "different seeds, different streams" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let xa = Rng.next_int64 a in
+  let xb = Rng.next_int64 b in
+  check Alcotest.int64 "copies replay" xa xb
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.next_int64 a and xb = Rng.next_int64 b in
+  checkb "split streams differ" true (xa <> xb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    checkb "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_rejects () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in rng (-3) 4 in
+    checkb "in closed range" true (x >= -3 && x <= 4)
+  done;
+  checki "singleton range" 9 (Rng.int_in rng 9 9)
+
+let test_rng_int_covers () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  checkb "all residues appear" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    checkb "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_bool_mixes () =
+  let rng = Rng.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool rng then incr trues
+  done;
+  checkb "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_rng_permutation_valid () =
+  let rng = Rng.create 19 in
+  for n = 1 to 30 do
+    let p = Rng.permutation rng n in
+    checkb "is permutation" true (Qr_perm.Perm.is_permutation p)
+  done
+
+let test_rng_permutation_uniformish () =
+  (* Over many draws of S_3, each of the 6 permutations should appear. *)
+  let rng = Rng.create 23 in
+  let counts = Hashtbl.create 6 in
+  for _ = 1 to 600 do
+    let p = Rng.permutation rng 3 in
+    let key = Array.to_list p in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  checki "all 6 permutations of S_3 appear" 6 (Hashtbl.length counts);
+  Hashtbl.iter (fun _ c -> checkb "no permutation starved" true (c > 40)) counts
+
+let test_rng_shuffle_preserves_multiset () =
+  let rng = Rng.create 29 in
+  let a = Array.init 50 (fun i -> i mod 7) in
+  let before = List.sort compare (Array.to_list a) in
+  Rng.shuffle_in_place rng a;
+  check Alcotest.(list int) "multiset preserved" before
+    (List.sort compare (Array.to_list a))
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 50 do
+    let sample = Rng.sample_distinct rng 10 25 in
+    checki "ten values" 10 (List.length sample);
+    checki "distinct" 10 (List.length (List.sort_uniq compare sample));
+    List.iter (fun x -> checkb "in range" true (x >= 0 && x < 25)) sample
+  done;
+  checki "k = n takes all" 25
+    (List.length (List.sort_uniq compare (Rng.sample_distinct rng 25 25)))
+
+let test_rng_choose () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 100 do
+    let x = Rng.choose rng [| 4; 8; 15 |] in
+    checkb "member" true (List.mem x [ 4; 8; 15 ])
+  done
+
+(* ---------------------------------------------------------------- Stats *)
+
+let feq = Alcotest.check (Alcotest.float 1e-9)
+
+let test_stats_mean () = feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_variance () =
+  feq "variance" 2.5 (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  feq "singleton" 0. (Stats.variance [| 42. |])
+
+let test_stats_stddev () =
+  feq "stddev of constant" 0. (Stats.stddev [| 3.; 3.; 3. |])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  feq "min" (-1.) lo;
+  feq "max" 7. hi
+
+let test_stats_median_odd () = feq "odd" 3. (Stats.median [| 5.; 1.; 3. |])
+
+let test_stats_median_even () =
+  feq "even interpolates" 2.5 (Stats.median [| 1.; 2.; 3.; 4. |])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  feq "p0" 10. (Stats.percentile xs 0.);
+  feq "p100" 50. (Stats.percentile xs 100.);
+  feq "p25" 20. (Stats.percentile xs 25.)
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_stats_of_ints () =
+  feq "converted mean" 2. (Stats.mean (Stats.of_ints [| 1; 2; 3 |]))
+
+(* ----------------------------------------------------------------- Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 5; 3; 8; 1; 9; 2 ];
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (k, _) ->
+        drained := k :: !drained;
+        drain ()
+  in
+  drain ();
+  check Alcotest.(list int) "sorted ascending" [ 1; 2; 3; 5; 8; 9 ]
+    (List.rev !drained)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  checkb "empty" true (Heap.is_empty h);
+  checkb "pop none" true (Heap.pop_min h = None);
+  checkb "peek none" true (Heap.peek_min h = None)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.add h ~key:4 "x";
+  checkb "peek" true (Heap.peek_min h = Some (4, "x"));
+  checki "still there" 1 (Heap.length h)
+
+let test_heap_duplicate_keys () =
+  let h = Heap.create () in
+  Heap.add h ~key:1 "a";
+  Heap.add h ~key:1 "b";
+  checki "both kept" 2 (Heap.length h);
+  let first = Heap.pop_min h and second = Heap.pop_min h in
+  checkb "both key 1" true
+    (match (first, second) with
+    | Some (1, _), Some (1, _) -> true
+    | _ -> false)
+
+let test_heap_of_list () =
+  let h = Heap.of_list [ (3, 'c'); (1, 'a'); (2, 'b') ] in
+  checkb "min is 1" true (Heap.pop_min h = Some (1, 'a'))
+
+let heap_sort_matches_list_sort =
+  QCheck.Test.make ~name:"heap drains in sorted key order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k k) keys;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ------------------------------------------------------------------ Dsu *)
+
+let test_dsu_initially_disjoint () =
+  let d = Dsu.create 5 in
+  checki "five sets" 5 (Dsu.count_sets d);
+  checkb "not same" false (Dsu.same d 0 4)
+
+let test_dsu_union_find () =
+  let d = Dsu.create 6 in
+  checkb "first union merges" true (Dsu.union d 0 1);
+  checkb "second union merges" true (Dsu.union d 1 2);
+  checkb "redundant union" false (Dsu.union d 0 2);
+  checkb "same component" true (Dsu.same d 0 2);
+  checki "component size" 3 (Dsu.size d 2);
+  checki "sets left" 4 (Dsu.count_sets d)
+
+let test_dsu_groups () =
+  let d = Dsu.create 4 in
+  ignore (Dsu.union d 0 3);
+  let groups = Dsu.groups d in
+  let nonempty = Array.to_list groups |> List.filter (fun g -> g <> []) in
+  checki "three groups" 3 (List.length nonempty);
+  checkb "0 and 3 together" true
+    (List.exists (fun g -> List.sort compare g = [ 0; 3 ]) nonempty)
+
+let dsu_union_count_invariant =
+  QCheck.Test.make ~name:"dsu: sets + successful unions = n" ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let d = Dsu.create 20 in
+      let merges =
+        List.fold_left
+          (fun acc (a, b) -> if Dsu.union d a b then acc + 1 else acc)
+          0 pairs
+      in
+      Dsu.count_sets d + merges = 20)
+
+(* ---------------------------------------------------------------- Timer *)
+
+let test_timer_monotone () =
+  let t = Timer.start () in
+  let x = ref 0 in
+  for i = 1 to 100000 do
+    x := !x + i
+  done;
+  checkb "elapsed nonnegative" true (Timer.elapsed_s t >= 0.)
+
+let test_timer_time () =
+  let result, dt = Timer.time (fun () -> 2 + 2) in
+  checki "result passes through" 4 result;
+  checkb "time nonnegative" true (dt >= 0.)
+
+let test_timer_repeated () =
+  let per_run = Timer.time_repeated ~min_runs:3 ~min_time_s:0.0 (fun () -> ()) in
+  checkb "mean per-run nonnegative" true (per_run >= 0.)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qr_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects" `Quick test_rng_int_rejects;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "int covers" `Quick test_rng_int_covers;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes;
+          Alcotest.test_case "permutation valid" `Quick test_rng_permutation_valid;
+          Alcotest.test_case "permutation covers S3" `Quick
+            test_rng_permutation_uniformish;
+          Alcotest.test_case "shuffle multiset" `Quick
+            test_rng_shuffle_preserves_multiset;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "choose" `Quick test_rng_choose;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+          Alcotest.test_case "of_ints" `Quick test_stats_of_ints;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicate_keys;
+          Alcotest.test_case "of_list" `Quick test_heap_of_list;
+          qc heap_sort_matches_list_sort;
+        ] );
+      ( "dsu",
+        [
+          Alcotest.test_case "initially disjoint" `Quick test_dsu_initially_disjoint;
+          Alcotest.test_case "union/find" `Quick test_dsu_union_find;
+          Alcotest.test_case "groups" `Quick test_dsu_groups;
+          qc dsu_union_count_invariant;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "monotone" `Quick test_timer_monotone;
+          Alcotest.test_case "time" `Quick test_timer_time;
+          Alcotest.test_case "repeated" `Quick test_timer_repeated;
+        ] );
+    ]
