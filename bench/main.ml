@@ -10,6 +10,8 @@
 
      fig4      print the Figure-4 depth series
      fig5      print the Figure-5 runtime series
+     phases    per-strategy phase-cost breakdown (Qr_obs spans + counters);
+               writes BENCH_phases.json
      ablation  isolate each design choice of LocalGridRoute
      circuits  end-to-end transpilation of the motivating workloads
      realistic depth on permutations harvested from real transpilations
@@ -142,6 +144,73 @@ let fig5 sides =
     (fun x -> Printf.sprintf "%.6f" x)
     "seconds per routing call" ~with_bound:false;
   write_csv "fig5" !csv_rows
+
+(* --------------------------------------------------------------- phases *)
+
+(* Per-strategy phase-cost breakdown over the random workload: route with
+   the span tracer and metrics registry on, print the per-phase summary,
+   and write the whole sweep to BENCH_phases.json.  This is the yardstick
+   for perf PRs: it attributes runtime to band search, MCBBM assignment,
+   the three odd–even rounds, decomposition and ATS trials rather than one
+   end-to-end wall clock. *)
+let phases sides =
+  header "Phase breakdown: where the routing time goes (random workload)";
+  let strategies = [ Strategy.Local; Strategy.Naive; Strategy.Ats ] in
+  let grids_json =
+    List.map
+      (fun side ->
+        let grid = Grid.make ~rows:side ~cols:side in
+        let per_strategy =
+          List.map
+            (fun strategy ->
+              Trace.start ();
+              Metrics.reset ();
+              Metrics.enable ();
+              for seed = 0 to seeds - 1 do
+                let pi =
+                  Generators.generate grid Generators.Random
+                    (Rng.create (1000 + seed))
+                in
+                let sched = Strategy.route strategy grid pi in
+                assert (Schedule.realizes ~n:(Grid.size grid) sched pi)
+              done;
+              let spans = Trace.stop () in
+              Metrics.disable ();
+              Printf.printf "\n-- %dx%d  %s  (%d seeds)\n%s" side side
+                (Strategy.name strategy) seeds (Trace.summary_table spans);
+              Obs_json.Obj
+                [
+                  ("strategy", Obs_json.String (Strategy.name strategy));
+                  ("phases", Trace.summary_json spans);
+                  ("metrics", Metrics.to_json ());
+                ])
+            strategies
+        in
+        Obs_json.Obj
+          [
+            ("grid_side", Obs_json.Int side);
+            ("strategies", Obs_json.List per_strategy);
+          ])
+      sides
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("workload", Obs_json.String "random");
+        ("seeds", Obs_json.Int seeds);
+        ("grids", Obs_json.List grids_json);
+      ]
+  in
+  let path = "BENCH_phases.json" in
+  Out_channel.with_open_text path (fun oc -> Obs_json.to_channel oc doc);
+  (* Self-check: what we wrote must parse back to the same document. *)
+  let content = In_channel.with_open_text path In_channel.input_all in
+  (match Obs_json.of_string content with
+  | Ok parsed ->
+      if not (Obs_json.equal parsed doc) then
+        failwith "BENCH_phases.json did not round-trip"
+  | Error msg -> failwith ("BENCH_phases.json is not well-formed: " ^ msg));
+  Printf.printf "\n(phase breakdown written to %s)\n" path
 
 (* ------------------------------------------------------------- ablations *)
 
@@ -550,7 +619,9 @@ let parse_sides s =
     String.split_on_char ',' s |> List.map String.trim
     |> List.map int_of_string_opt
   with
-  | sides when List.for_all Option.is_some sides && sides <> [] ->
+  | sides
+    when List.for_all (function Some k -> k > 0 | None -> false) sides
+         && sides <> [] ->
       List.map Option.get sides
   | _ ->
       Printf.eprintf "bad sides %S; using defaults\n" s;
@@ -565,6 +636,7 @@ let () =
   match mode with
   | "fig4" -> fig4 sides
   | "fig5" -> fig5 sides
+  | "phases" -> phases sides
   | "ablation" -> ablations ()
   | "circuits" -> circuits ()
   | "realistic" -> realistic ()
@@ -572,11 +644,12 @@ let () =
   | "all" ->
       fig4 sides;
       fig5 sides;
+      phases sides;
       ablations ();
       circuits ();
       realistic ();
       micro ()
   | other ->
-      Printf.eprintf "unknown mode %S (expected fig4|fig5|ablation|circuits|realistic|micro|all)\n"
+      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|ablation|circuits|realistic|micro|all)\n"
         other;
       exit 1

@@ -52,6 +52,69 @@ let strategy_arg =
     & info [ "strategy"; "s" ] ~docv:"STRATEGY"
         ~doc:"Routing strategy: local, local1, naive, ats, ats-serial, snake, best.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record per-phase spans and write a Chrome trace_event JSON file \
+           to $(docv) (load it in chrome://tracing or Perfetto); also \
+           prints a per-phase cost summary.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record routing counters/gauges/histograms and write a JSON \
+           snapshot to $(docv).")
+
+(* Bracket a run with span/metric collection when either sink is
+   requested; export afterwards.  With neither flag the run stays on the
+   no-op fast path. *)
+let with_observability ~trace ~metrics f =
+  let observing = trace <> None || metrics <> None in
+  if observing then begin
+    Trace.start ();
+    Metrics.reset ();
+    Metrics.enable ()
+  end;
+  let write_failed = ref false in
+  let write path json =
+    try
+      Out_channel.with_open_text path (fun oc -> Obs_json.to_channel oc json);
+      true
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot write %s: %s\n" path msg;
+      write_failed := true;
+      false
+  in
+  let finish () =
+    if observing then begin
+      let spans = Trace.stop () in
+      Metrics.disable ();
+      Option.iter
+        (fun path ->
+          if write path (Trace.to_chrome_json spans) then begin
+            Printf.printf "\nper-phase cost summary:\n%s"
+              (Trace.summary_table spans);
+            Printf.printf "trace (%d spans) written to %s\n"
+              (List.length spans) path
+          end)
+        trace;
+      Option.iter
+        (fun path ->
+          if write path (Metrics.to_json ()) then
+            Printf.printf "metrics written to %s\n" path)
+        metrics
+    end
+  in
+  let result = Fun.protect ~finally:finish f in
+  if !write_failed then exit 1;
+  result
+
 (* ------------------------------------------------------------------ route *)
 
 let route_cmd =
@@ -64,7 +127,8 @@ let route_cmd =
   let show =
     Arg.(value & flag & info [ "show" ] ~doc:"Print the matching layers.")
   in
-  let run rows cols seed strategy kind show =
+  let run rows cols seed strategy kind show trace metrics =
+    with_observability ~trace ~metrics @@ fun () ->
     let grid = Grid.make ~rows ~cols in
     let pi = Generators.generate grid kind (Rng.create seed) in
     let (sched, seconds) =
@@ -88,7 +152,9 @@ let route_cmd =
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Route one permutation on a grid")
-    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ strategy_arg $ kind $ show)
+    Term.(
+      const run $ rows_arg $ cols_arg $ seed_arg $ strategy_arg $ kind $ show
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ sweep *)
 
@@ -102,7 +168,8 @@ let sweep_cmd =
   let seeds =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per point.")
   in
-  let run sizes seeds =
+  let run sizes seeds trace metrics =
+    with_observability ~trace ~metrics @@ fun () ->
     Printf.printf "%-6s %-12s %-11s %8s %8s %10s\n" "grid" "workload"
       "strategy" "depth" "swaps" "time(s)";
     List.iter
@@ -133,7 +200,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Depth/time sweep over grid sizes and workloads")
-    Term.(const run $ sizes $ seeds)
+    Term.(const run $ sizes $ seeds $ trace_arg $ metrics_arg)
 
 (* -------------------------------------------------------------- transpile *)
 
@@ -150,7 +217,7 @@ let transpile_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the physical circuit here.")
   in
-  let run rows cols strategy input output =
+  let run rows cols strategy input output trace metrics =
     let grid = Grid.make ~rows ~cols in
     match Qasm.load input with
     | Error msg ->
@@ -163,6 +230,7 @@ let transpile_cmd =
             (Circuit.num_qubits logical) rows cols (Grid.size grid);
           exit 1
         end;
+        with_observability ~trace ~metrics @@ fun () ->
         let (result, seconds) =
           Timer.time (fun () -> transpile ~strategy grid logical)
         in
@@ -182,7 +250,9 @@ let transpile_cmd =
   in
   Cmd.v
     (Cmd.info "transpile" ~doc:"Transpile a circuit file onto a grid")
-    Term.(const run $ rows_arg $ cols_arg $ strategy_arg $ input $ output)
+    Term.(
+      const run $ rows_arg $ cols_arg $ strategy_arg $ input $ output
+      $ trace_arg $ metrics_arg)
 
 (* -------------------------------------------------------------------- gen *)
 

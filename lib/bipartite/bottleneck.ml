@@ -1,4 +1,9 @@
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
 type edge = { l : int; r : int; weight : int }
+
+let c_probes = Metrics.counter "bottleneck_thresholds_probed"
 
 type solution = {
   bottleneck : int;
@@ -11,6 +16,7 @@ let matching_size ~nl ~nr kept =
   Hopcroft_karp.solve ~nl ~nr ~edges
 
 let solve ~nl ~nr edge_list =
+  Trace.with_span "bottleneck_solve" @@ fun () ->
   List.iter
     (fun e ->
       if e.l < 0 || e.l >= nl || e.r < 0 || e.r >= nr then
@@ -27,6 +33,7 @@ let solve ~nl ~nr edge_list =
     (* Smallest threshold index whose filtered graph still reaches the
        maximum cardinality. *)
     let feasible idx =
+      Metrics.incr c_probes;
       let kept = List.filter (fun e -> e.weight <= weight_array.(idx)) edge_list in
       let result = matching_size ~nl ~nr kept in
       result.size >= target

@@ -1,3 +1,8 @@
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
+let c_matchings = Metrics.counter "matchings_extracted"
+
 let check_regular ~nl ~nr ~edges =
   if nl <> nr then invalid_arg "Decompose: sides must have equal size";
   if nl = 0 then 0
@@ -29,12 +34,14 @@ let extract_one ~nl ~nr ~edges live =
   if result.size <> nl then
     invalid_arg "Decompose: no perfect matching in regular graph (bug)";
   let matching = Array.map (fun k -> sub.(k)) result.left_match in
+  Metrics.incr c_matchings;
   let used = Hashtbl.create (2 * nl) in
   Array.iter (fun k -> Hashtbl.replace used k ()) matching;
   let remaining = List.filter (fun k -> not (Hashtbl.mem used k)) live in
   (matching, remaining)
 
 let by_extraction ~nl ~nr ~edges =
+  Trace.with_span "decompose_extraction" @@ fun () ->
   let d = check_regular ~nl ~nr ~edges in
   let all = List.init (Array.length edges) (fun k -> k) in
   let rec loop live remaining_degree acc =
@@ -115,6 +122,7 @@ let matching_of_one_regular ~nl ~edges live =
   matching
 
 let by_euler_split ~nl ~nr ~edges =
+  Trace.with_span "decompose_euler_split" @@ fun () ->
   let d = check_regular ~nl ~nr ~edges in
   let rec split live remaining_degree =
     if remaining_degree = 0 then []

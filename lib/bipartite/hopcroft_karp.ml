@@ -1,8 +1,14 @@
+module Metrics = Qr_obs.Metrics
+
 type result = {
   size : int;
   left_match : int array;
   right_match : int array;
 }
+
+let c_calls = Metrics.counter "hk_calls"
+let c_phases = Metrics.counter "hk_phases"
+let c_augmentations = Metrics.counter "hk_augmentations"
 
 let infinity_dist = max_int
 
@@ -29,6 +35,7 @@ let build_adjacency ~nl ~nr ~edges =
   (offsets, store)
 
 let solve ~nl ~nr ~edges =
+  Metrics.incr c_calls;
   let offsets, adj = build_adjacency ~nl ~nr ~edges in
   let left_match = Array.make nl (-1) in
   let right_match = Array.make nr (-1) in
@@ -91,8 +98,12 @@ let solve ~nl ~nr ~edges =
   in
   let size = ref 0 in
   while bfs () do
+    Metrics.incr c_phases;
     for l = 0 to nl - 1 do
-      if left_match.(l) = -1 && dfs l then incr size
+      if left_match.(l) = -1 && dfs l then begin
+        incr size;
+        Metrics.incr c_augmentations
+      end
     done
   done;
   { size = !size; left_match; right_match }

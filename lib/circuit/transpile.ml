@@ -4,8 +4,14 @@ module Bfs = Qr_graph.Bfs
 module Distance = Qr_graph.Distance
 module Perm = Qr_perm.Perm
 module Schedule = Qr_route.Schedule
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
 
 type router = Perm.t -> Schedule.t
+
+let c_router_calls = Metrics.counter "router_calls"
+let c_routed_slices = Metrics.counter "routed_slices"
+let c_transpile_swap_layers = Metrics.counter "transpile_swap_layers"
 
 type extension = Nearest | Min_total
 
@@ -38,6 +44,7 @@ let meeting_slots path claimed =
   |> Option.map (fun i -> (arr.(i), arr.(i + 1)))
 
 let run ?initial ?on_route ?(extension = Nearest) ~graph ~dist ~router circuit =
+  Trace.with_span "transpile" @@ fun () ->
   let n = Graph.num_vertices graph in
   if Circuit.num_qubits circuit <> n then
     invalid_arg "Transpile.run: circuit and device sizes differ";
@@ -92,7 +99,8 @@ let run ?initial ?on_route ?(extension = Nearest) ~graph ~dist ~router circuit =
             (Qr_perm.Partial_perm.Min_total metric)
             (Qr_perm.Partial_perm.make ~n (List.rev !targets))
     in
-    let sched = router rho in
+    Metrics.incr c_router_calls;
+    let sched = Trace.with_span "transpile_route" (fun () -> router rho) in
     assert (Schedule.is_valid graph sched);
     assert (Schedule.realizes ~n sched rho);
     (match on_route with Some f -> f rho sched | None -> ());
@@ -116,6 +124,8 @@ let run ?initial ?on_route ?(extension = Nearest) ~graph ~dist ~router circuit =
       done;
       if !routed_here then incr routed_slices)
     (Circuit.layers circuit);
+  Metrics.add c_routed_slices !routed_slices;
+  Metrics.add c_transpile_swap_layers !swap_layers;
   {
     physical = Circuit.create ~num_qubits:n (List.rev !out);
     initial = started_from;

@@ -1,6 +1,9 @@
 module Rng = Qr_util.Rng
 module Stats = Qr_util.Stats
 module Timer = Qr_util.Timer
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+module Obs_json = Qr_obs.Json
 module Graph = Qr_graph.Graph
 module Grid = Qr_graph.Grid
 module Product = Qr_graph.Product
@@ -58,20 +61,39 @@ module Strategy = struct
 
   let of_name s = List.find_opt (fun strategy -> name strategy = s) all
 
+  (* Schedule-quality counters, recorded once per top-level routing call
+     from the schedule actually returned — so [swap_layers] always equals
+     the emitted [Schedule.depth] even for strategies (like [Best]) that
+     race several routers internally. *)
+  let c_route_calls = Qr_obs.Metrics.counter "route_calls"
+  let c_swap_layers = Qr_obs.Metrics.counter "swap_layers"
+  let c_swaps_total = Qr_obs.Metrics.counter "swaps_total"
+
   let route strategy grid pi =
-    match strategy with
-    | Local -> Local_grid_route.route_best_orientation grid pi
-    | Local_single -> Local_grid_route.route grid pi
-    | Naive -> Grid_route.route_naive grid pi
-    | Ats ->
-        Parallel_ats.route (Grid.graph grid) (Distance.of_grid grid) pi
-    | Ats_serial ->
-        Token_swap.schedule (Grid.graph grid) (Distance.of_grid grid) pi
-    | Snake -> Line_route.route grid pi
-    | Best ->
-        let local = Local_grid_route.route_best_orientation grid pi in
-        let naive = Grid_route.route_naive grid pi in
-        if Schedule.depth naive < Schedule.depth local then naive else local
+    Qr_obs.Trace.with_span "route"
+      ~attrs:[ ("strategy", Qr_obs.Trace.String (name strategy)) ]
+    @@ fun () ->
+    let sched =
+      match strategy with
+      | Local -> Local_grid_route.route_best_orientation grid pi
+      | Local_single -> Local_grid_route.route grid pi
+      | Naive -> Grid_route.route_naive grid pi
+      | Ats ->
+          Parallel_ats.route (Grid.graph grid) (Distance.of_grid grid) pi
+      | Ats_serial ->
+          Token_swap.schedule (Grid.graph grid) (Distance.of_grid grid) pi
+      | Snake -> Line_route.route grid pi
+      | Best ->
+          let local = Local_grid_route.route_best_orientation grid pi in
+          let naive = Grid_route.route_naive grid pi in
+          if Schedule.depth naive < Schedule.depth local then naive else local
+    in
+    if Qr_obs.Metrics.enabled () then begin
+      Qr_obs.Metrics.incr c_route_calls;
+      Qr_obs.Metrics.add c_swap_layers (Schedule.depth sched);
+      Qr_obs.Metrics.add c_swaps_total (Schedule.size sched)
+    end;
+    sched
 
   let generic_route strategy g oracle pi =
     match strategy with

@@ -9,6 +9,9 @@
 module Rng = Qr_util.Rng
 module Stats = Qr_util.Stats
 module Timer = Qr_util.Timer
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+module Obs_json = Qr_obs.Json
 module Graph = Qr_graph.Graph
 module Grid = Qr_graph.Grid
 module Product = Qr_graph.Product

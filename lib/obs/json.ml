@@ -1,0 +1,276 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------- printing *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest-exact float rendering that still parses back as a float: a
+   pure-integer rendering gets ".0" appended so Float 5. does not come
+   back as Int 5. *)
+let float_to_buffer buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    let s =
+      let shorter = Printf.sprintf "%.12g" f in
+      if float_of_string shorter = f then shorter else s
+    in
+    Buffer.add_string buf s;
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+      Buffer.add_string buf ".0"
+  end
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to_buffer buf f
+  | String s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun k (key, item) ->
+          if k > 0 then Buffer.add_char buf ',';
+          escape_to buf key;
+          Buffer.add_char buf ':';
+          to_buffer buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  to_buffer buf json;
+  Buffer.contents buf
+
+let to_channel oc json =
+  output_string oc (to_string json);
+  output_char oc '\n'
+
+(* -------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+let of_string_exn' s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                let code =
+                  try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                  with _ -> fail "bad \\u escape"
+                in
+                pos := !pos + 4;
+                (* UTF-8 encode; lone surrogates pass through naively. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            loop ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let first = !pos in
+    let is_int = ref true in
+    if !pos < n && s.[!pos] = '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    if !pos < n && s.[!pos] = '.' then begin
+      is_int := false;
+      incr pos;
+      digits ()
+    end;
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      is_int := false;
+      incr pos;
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+      digits ()
+    end;
+    let text = String.sub s first (!pos - first) in
+    if !is_int then
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+    else Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input"
+    else
+      match s.[!pos] with
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | '"' -> String (parse_string ())
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let items = ref [ parse_value () ] in
+            skip_ws ();
+            while !pos < n && s.[!pos] = ',' do
+              incr pos;
+              items := parse_value () :: !items;
+              skip_ws ()
+            done;
+            expect ']';
+            List (List.rev !items)
+          end
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && s.[!pos] = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let field () =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              (key, parse_value ())
+            in
+            let fields = ref [ field () ] in
+            skip_ws ();
+            while !pos < n && s.[!pos] = ',' do
+              incr pos;
+              fields := field () :: !fields;
+              skip_ws ()
+            done;
+            expect '}';
+            Obj (List.rev !fields)
+          end
+      | '-' | '0' .. '9' -> parse_number ()
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  value
+
+let of_string s =
+  match of_string_exn' s with
+  | value -> Ok value
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string_exn' s with
+  | value -> value
+  | exception Parse_error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | String x, String y -> String.equal x y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           xs ys
+  | _ -> false

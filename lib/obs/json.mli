@@ -1,0 +1,40 @@
+(** Minimal JSON tree with a printer and a parser.
+
+    The container ships no JSON library, and the observability layer only
+    needs enough JSON to emit Chrome [trace_event] files and metrics
+    snapshots — and to parse them back in tests and smoke checks.  Numbers
+    are split into [Int] and [Float] so counters survive a round-trip
+    exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the compact rendering of a value.  Non-finite floats render as
+    [null] (JSON has no NaN/infinity). *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+(** {!to_string} plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error message carries a byte offset. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-sensitively and
+    floats bitwise (good enough for round-trip tests). *)

@@ -1,0 +1,197 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_counts : int array;  (* length = Array.length h_bounds + 1; last = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+
+(* Registration order, most recent first. *)
+let order : string list ref = ref []
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let register name make describe =
+  match Hashtbl.find_opt registry name with
+  | None ->
+      let instrument = make () in
+      Hashtbl.add registry name instrument;
+      order := name :: !order;
+      instrument
+  | Some existing -> (
+      match describe existing with
+      | Some handle -> handle
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as another kind"
+               name))
+
+let counter name =
+  match
+    register name
+      (fun () -> Counter { c_name = name; c_value = 0 })
+      (function Counter c -> Some (Counter c) | _ -> None)
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge name =
+  match
+    register name
+      (fun () -> Gauge { g_name = name; g_value = 0.; g_set = false })
+      (function Gauge g -> Some (Gauge g) | _ -> None)
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let default_buckets =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+
+let histogram ?(buckets = default_buckets) name =
+  let make () =
+    if Array.length buckets = 0 then
+      invalid_arg "Metrics.histogram: empty buckets";
+    for k = 1 to Array.length buckets - 1 do
+      if not (buckets.(k) > buckets.(k - 1)) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+    done;
+    Histogram
+      {
+        h_name = name;
+        h_bounds = Array.copy buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_count = 0;
+        h_sum = 0.;
+      }
+  in
+  match
+    register name make (function Histogram h -> Some (Histogram h) | _ -> None)
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* -------------------------------------------------------------- updates *)
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+
+let set g x =
+  if !enabled_flag then begin
+    g.g_value <- x;
+    g.g_set <- true
+  end
+
+(* First bucket whose bound admits [x]; the overflow bucket otherwise. *)
+let bucket_index bounds x =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  (* Invariant: bounds.(i) < x for i < lo; x <= bounds.(i) for i >= hi. *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h x =
+  if !enabled_flag then begin
+    let idx = bucket_index h.h_bounds x in
+    h.h_counts.(idx) <- h.h_counts.(idx) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x
+  end
+
+(* ---------------------------------------------------------------- reset *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+          g.g_value <- 0.;
+          g.g_set <- false
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.)
+    registry
+
+(* -------------------------------------------------------------- reading *)
+
+let value c = c.c_value
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+let bucket_counts h =
+  let pairs = ref [] in
+  for k = Array.length h.h_counts - 1 downto 0 do
+    let bound =
+      if k < Array.length h.h_bounds then h.h_bounds.(k) else infinity
+    in
+    pairs := (bound, h.h_counts.(k)) :: !pairs
+  done;
+  !pairs
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c
+  | _ -> None
+
+let to_json () =
+  let names = List.rev !order in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c -> counters := (c.c_name, Json.Int c.c_value) :: !counters
+      | Gauge g ->
+          if g.g_set then gauges := (g.g_name, Json.Float g.g_value) :: !gauges
+      | Histogram h ->
+          let buckets =
+            List.map
+              (fun (bound, count) ->
+                Json.Obj
+                  [
+                    ( "le",
+                      if Float.is_finite bound then Json.Float bound
+                      else Json.String "inf" );
+                    ("count", Json.Int count);
+                  ])
+              (bucket_counts h)
+          in
+          histograms :=
+            ( h.h_name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.h_count);
+                  ("sum", Json.Float h.h_sum);
+                  ("buckets", Json.List buckets);
+                ] )
+            :: !histograms)
+    names;
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histograms));
+    ]

@@ -1,0 +1,66 @@
+(** Named counters, gauges and histograms for the routing stack.
+
+    Instruments are registered once in a global registry (typically at
+    module initialization: [let c = Metrics.counter "hk_calls"]) and
+    updated through their handles.  Updates are guarded by a global
+    enable flag, so with collection off every update is a single branch —
+    safe to leave in hot loops.  Registration itself is always allowed;
+    re-registering a name returns the existing instrument.
+
+    Metric names follow the same snake_case schema as span names (see
+    DESIGN.md §8). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) a monotonically increasing integer counter.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val gauge : string -> gauge
+(** Register (or look up) a last-value-wins float gauge. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Register (or look up) a histogram.  [buckets] are strictly increasing
+    upper bounds; observations above the last bound land in an implicit
+    overflow bucket.  Default: powers of two from 1 to 1024.  On lookup of
+    an existing histogram, [buckets] is ignored. *)
+
+(** {2 Updates (single branch when disabled)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Collection control} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)
+
+(** {2 Reading} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float option
+(** [None] until the first {!set} (or after {!reset}). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** Per-bucket (non-cumulative) counts as [(upper_bound, count)] pairs;
+    the final pair has bound [infinity] (the overflow bucket). *)
+
+val find_counter : string -> counter option
+(** Look up a counter without registering it. *)
+
+val to_json : unit -> Json.t
+(** Snapshot of the whole registry:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
+    Instruments appear in registration order; gauges never set are
+    omitted. *)

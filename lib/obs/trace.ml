@@ -1,0 +1,220 @@
+module Timer = Qr_util.Timer
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type span = {
+  name : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  self_ns : int64;
+  attrs : (string * value) list;
+}
+
+type frame = {
+  f_name : string;
+  f_depth : int;
+  f_start : int64;
+  mutable f_attrs : (string * value) list;  (* reversed *)
+  mutable f_child_ns : int64;
+}
+
+let enabled_flag = ref false
+
+(* Completed spans, most recent first. *)
+let completed : span list ref = ref []
+
+(* Open spans, innermost first. *)
+let stack : frame list ref = ref []
+
+let enabled () = !enabled_flag
+
+let start () =
+  completed := [];
+  stack := [];
+  enabled_flag := true
+
+let stop () =
+  enabled_flag := false;
+  let spans = List.rev !completed in
+  completed := [];
+  stack := [];
+  spans
+
+let spans () = List.rev !completed
+
+let with_span name ?attrs f =
+  if not !enabled_flag then f ()
+  else begin
+    let frame =
+      {
+        f_name = name;
+        f_depth = List.length !stack;
+        f_start = Timer.now_ns ();
+        f_attrs = (match attrs with None -> [] | Some a -> List.rev a);
+        f_child_ns = 0L;
+      }
+    in
+    stack := frame :: !stack;
+    let finish () =
+      let dur_ns = Int64.sub (Timer.now_ns ()) frame.f_start in
+      (match !stack with
+      | top :: rest when top == frame -> stack := rest
+      | _ ->
+          (* Unbalanced exit (an exception skipped a child's finish, which
+             Fun.protect prevents; defensive): drop down to our frame. *)
+          let rec unwind = function
+            | top :: rest when top == frame -> rest
+            | _ :: rest -> unwind rest
+            | [] -> []
+          in
+          stack := unwind !stack);
+      (match !stack with
+      | parent :: _ -> parent.f_child_ns <- Int64.add parent.f_child_ns dur_ns
+      | [] -> ());
+      completed :=
+        {
+          name = frame.f_name;
+          depth = frame.f_depth;
+          start_ns = frame.f_start;
+          dur_ns;
+          self_ns = Int64.sub dur_ns frame.f_child_ns;
+          attrs = List.rev frame.f_attrs;
+        }
+        :: !completed
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add_attr key v =
+  if !enabled_flag then
+    match !stack with
+    | frame :: _ -> frame.f_attrs <- (key, v) :: frame.f_attrs
+    | [] -> ()
+
+let run f =
+  start ();
+  match f () with
+  | result -> (result, stop ())
+  | exception e ->
+      ignore (stop ());
+      raise e
+
+(* ------------------------------------------------------------ exporters *)
+
+let micros ns = Int64.to_float ns /. 1e3
+
+let json_of_value = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+
+let to_chrome_json spans =
+  let base =
+    List.fold_left
+      (fun acc s -> if s.start_ns < acc then s.start_ns else acc)
+      (match spans with [] -> 0L | s :: _ -> s.start_ns)
+      spans
+  in
+  let event s =
+    let fields =
+      [
+        ("name", Json.String s.name);
+        ("cat", Json.String "qroute");
+        ("ph", Json.String "X");
+        ("ts", Json.Float (micros (Int64.sub s.start_ns base)));
+        ("dur", Json.Float (micros s.dur_ns));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+      ]
+    in
+    let fields =
+      if s.attrs = [] then fields
+      else
+        fields
+        @ [
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) s.attrs)
+            );
+          ]
+    in
+    Json.Obj fields
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event spans));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+type row = {
+  span_name : string;
+  count : int;
+  total_ns : int64;
+  self_total_ns : int64;
+  max_ns : int64;
+}
+
+let summary spans =
+  let table : (string, row ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt table s.name with
+      | Some row ->
+          row :=
+            {
+              !row with
+              count = !row.count + 1;
+              total_ns = Int64.add !row.total_ns s.dur_ns;
+              self_total_ns = Int64.add !row.self_total_ns s.self_ns;
+              max_ns = (if s.dur_ns > !row.max_ns then s.dur_ns else !row.max_ns);
+            }
+      | None ->
+          let row =
+            ref
+              {
+                span_name = s.name;
+                count = 1;
+                total_ns = s.dur_ns;
+                self_total_ns = s.self_ns;
+                max_ns = s.dur_ns;
+              }
+          in
+          Hashtbl.add table s.name row;
+          order := s.name :: !order)
+    spans;
+  List.rev_map (fun name -> !(Hashtbl.find table name)) !order
+
+let seconds ns = Int64.to_float ns /. 1e9
+
+let summary_json spans =
+  Json.List
+    (List.map
+       (fun row ->
+         Json.Obj
+           [
+             ("name", Json.String row.span_name);
+             ("count", Json.Int row.count);
+             ("total_s", Json.Float (seconds row.total_ns));
+             ("self_s", Json.Float (seconds row.self_total_ns));
+             ("max_s", Json.Float (seconds row.max_ns));
+           ])
+       (summary spans))
+
+let summary_table spans =
+  let rows = summary spans in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %8s %12s %12s %12s\n" "span" "count" "total(ms)"
+       "self(ms)" "max(ms)");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %8d %12.3f %12.3f %12.3f\n" row.span_name
+           row.count
+           (seconds row.total_ns *. 1e3)
+           (seconds row.self_total_ns *. 1e3)
+           (seconds row.max_ns *. 1e3)))
+    rows;
+  Buffer.contents buf

@@ -1,6 +1,7 @@
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
 module Decompose = Qr_bipartite.Decompose
+module Trace = Qr_obs.Trace
 
 type sigmas = int array array
 
@@ -89,48 +90,60 @@ let route_rounds grid pi sigmas =
   let m = Grid.rows grid and n = Grid.cols grid in
   let token_at = Array.init (Grid.size grid) (fun v -> v) in
   (* Round 1: columns, qubit at (i,j) goes to row sigmas.(j).(i). *)
-  let column_lines =
-    List.init n (fun j ->
-        let dests = Array.init m (fun i -> sigmas.(j).(i)) in
-        (j, Path_route.route_min_parity dests))
-  in
   let round1 =
-    merge_lines column_lines ~lift:(fun j (a, b) ->
-        (Grid.index grid a j, Grid.index grid b j))
+    Trace.with_span "round1_columns" (fun () ->
+        let column_lines =
+          List.init n (fun j ->
+              let dests = Array.init m (fun i -> sigmas.(j).(i)) in
+              (j, Path_route.route_min_parity dests))
+        in
+        let round =
+          merge_lines column_lines ~lift:(fun j (a, b) ->
+              (Grid.index grid a j, Grid.index grid b j))
+        in
+        apply_layers token_at round;
+        round)
   in
-  apply_layers token_at round1;
   (* Round 2: rows, to destination columns. *)
-  let row_lines =
-    List.init m (fun r ->
-        let dests =
-          Array.init n (fun j ->
-              let v = token_at.(Grid.index grid r j) in
-              snd (Grid.coord grid pi.(v)))
-        in
-        (r, Path_route.route_min_parity dests))
-  in
   let round2 =
-    merge_lines row_lines ~lift:(fun r (a, b) ->
-        (Grid.index grid r a, Grid.index grid r b))
-  in
-  apply_layers token_at round2;
-  (* Round 3: columns, to destination rows. *)
-  let column_lines' =
-    List.init n (fun j ->
-        let dests =
-          Array.init m (fun i ->
-              let v = token_at.(Grid.index grid i j) in
-              let r', c' = Grid.coord grid pi.(v) in
-              assert (c' = j);
-              r')
+    Trace.with_span "round2_rows" (fun () ->
+        let row_lines =
+          List.init m (fun r ->
+              let dests =
+                Array.init n (fun j ->
+                    let v = token_at.(Grid.index grid r j) in
+                    snd (Grid.coord grid pi.(v)))
+              in
+              (r, Path_route.route_min_parity dests))
         in
-        (j, Path_route.route_min_parity dests))
+        let round =
+          merge_lines row_lines ~lift:(fun r (a, b) ->
+              (Grid.index grid r a, Grid.index grid r b))
+        in
+        apply_layers token_at round;
+        round)
   in
+  (* Round 3: columns, to destination rows. *)
   let round3 =
-    merge_lines column_lines' ~lift:(fun j (a, b) ->
-        (Grid.index grid a j, Grid.index grid b j))
+    Trace.with_span "round3_columns" (fun () ->
+        let column_lines' =
+          List.init n (fun j ->
+              let dests =
+                Array.init m (fun i ->
+                    let v = token_at.(Grid.index grid i j) in
+                    let r', c' = Grid.coord grid pi.(v) in
+                    assert (c' = j);
+                    r')
+              in
+              (j, Path_route.route_min_parity dests))
+        in
+        let round =
+          merge_lines column_lines' ~lift:(fun j (a, b) ->
+              (Grid.index grid a j, Grid.index grid b j))
+        in
+        apply_layers token_at round;
+        round)
   in
-  apply_layers token_at round3;
   (* Every token must have reached its destination. *)
   Array.iteri (fun v dst -> assert (token_at.(dst) = v)) pi;
   (round1, round2, round3)
@@ -144,7 +157,9 @@ let round_depths grid pi sigmas =
   (Schedule.depth round1, Schedule.depth round2, Schedule.depth round3)
 
 let naive_sigmas ?(strategy = Extraction) grid pi =
-  let cg = Column_graph.build grid pi in
+  let cg =
+    Trace.with_span "column_graph_build" (fun () -> Column_graph.build grid pi)
+  in
   let nl = Column_graph.cols cg in
   let edges = Column_graph.hk_edges cg in
   let matchings =

@@ -4,10 +4,22 @@ module Grid_perm = Qr_perm.Grid_perm
 module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
 module Decompose = Qr_bipartite.Decompose
 module Bottleneck = Qr_bipartite.Bottleneck
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
 
 type discovery = Doubling | Fixed_band of int | Whole
 
 type assignment = Mcbbm | Arbitrary
+
+let c_band_rounds = Metrics.counter "band_search_rounds"
+let c_band_windows = Metrics.counter "band_search_iterations"
+let c_matchings = Metrics.counter "matchings_extracted"
+let h_band_width = Metrics.histogram "band_width"
+
+let discovery_name = function
+  | Doubling -> "doubling"
+  | Fixed_band h -> Printf.sprintf "fixed_band:%d" h
+  | Whole -> "whole"
 
 let delta cg matching r =
   Array.fold_left
@@ -37,6 +49,8 @@ let drain_band cg ~live ~lo ~hi found =
       else begin
         let matching = Array.map (fun k -> sub.(k)) result.left_match in
         Array.iter (fun e -> live.(e) <- false) matching;
+        Metrics.incr c_matchings;
+        Metrics.observe h_band_width (float_of_int (hi - lo + 1));
         found := matching :: !found
       end
     end
@@ -48,8 +62,10 @@ let discover_doubling ?(initial_width = 0) cg =
   let found = ref [] in
   let w = ref initial_width in
   while List.length !found < m do
+    Metrics.incr c_band_rounds;
     let r0 = ref 0 in
     while !r0 < m && List.length !found < m do
+      Metrics.incr c_band_windows;
       let hi = min (!r0 + !w) (m - 1) in
       drain_band cg ~live ~lo:!r0 ~hi found;
       r0 := !r0 + !w + 1
@@ -89,19 +105,33 @@ let assign_rows assignment cg matchings =
       assigned
 
 let sigmas ?(discovery = Doubling) ?(assignment = Mcbbm) grid pi =
-  let cg = Column_graph.build grid pi in
-  let matchings = discover_matchings discovery cg in
-  let assigned_rows = assign_rows assignment cg matchings in
+  let cg =
+    Trace.with_span "column_graph_build" (fun () -> Column_graph.build grid pi)
+  in
+  let matchings =
+    Trace.with_span "band_search"
+      ~attrs:[ ("discovery", Trace.String (discovery_name discovery)) ]
+      (fun () -> discover_matchings discovery cg)
+  in
+  let assigned_rows =
+    Trace.with_span "mcbbm_assign" (fun () -> assign_rows assignment cg matchings)
+  in
   Grid_route.sigmas_of_assignment cg ~matchings ~assigned_rows
 
 let route ?discovery ?assignment grid pi =
   Grid_route.route_with_sigmas grid pi (sigmas ?discovery ?assignment grid pi)
 
 let route_best_orientation ?discovery ?assignment grid pi =
-  let direct = route ?discovery ?assignment grid pi in
-  let grid_t = Grid.transpose grid in
-  let pi_t = Grid_perm.transpose grid pi in
-  let transposed = route ?discovery ?assignment grid_t pi_t in
+  let direct =
+    Trace.with_span "orientation_direct" (fun () ->
+        route ?discovery ?assignment grid pi)
+  in
+  let transposed =
+    Trace.with_span "orientation_transposed" (fun () ->
+        let grid_t = Grid.transpose grid in
+        let pi_t = Grid_perm.transpose grid pi in
+        route ?discovery ?assignment grid_t pi_t)
+  in
   let lifted =
     Schedule.map_vertices (Grid_perm.untranspose_vertex grid) transposed
   in

@@ -1,4 +1,7 @@
 module Perm = Qr_perm.Perm
+module Metrics = Qr_obs.Metrics
+
+let c_rounds = Metrics.counter "odd_even_rounds"
 
 let route_from_parity start_parity dests =
   if not (Perm.is_permutation dests) then
@@ -15,6 +18,7 @@ let route_from_parity start_parity dests =
   (* Odd-even transposition needs at most k rounds from either starting
      parity; k+1 leaves room for a wasted first round. *)
   while (not (sorted ())) && !rounds <= k + 1 do
+    Metrics.incr c_rounds;
     let swaps = ref [] in
     let p = ref !parity in
     while !p + 1 < k do

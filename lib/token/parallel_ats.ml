@@ -3,6 +3,12 @@ module Distance = Qr_graph.Distance
 module Perm = Qr_perm.Perm
 module Rng = Qr_util.Rng
 module Schedule = Qr_route.Schedule
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
+let c_trials = Metrics.counter "ats_parallel_trials"
+let c_happy_layers = Metrics.counter "ats_happy_layers"
+let c_fallbacks = Metrics.counter "ats_fallback_steps"
 
 let route_one ~seed g oracle pi =
   let n = Graph.num_vertices g in
@@ -48,13 +54,16 @@ let route_one ~seed g oracle pi =
     incr rounds;
     if !rounds > cap then failwith "Parallel_ats.route: safety cap exceeded";
     match happy_layer () with
-    | _ :: _ as batch -> push_layer batch
+    | _ :: _ as batch ->
+        Metrics.incr c_happy_layers;
+        push_layer batch
     | [] -> (
         (* Stuck: fall back to one serial ATS step to restore progress —
            a cycle chain (emitted as singleton layers; the final compaction
            merges what it can) or a single unhappy swap. *)
         match Ats_core.find_cycle g dist dest_at priority roots with
         | Some cycle ->
+            Metrics.incr c_fallbacks;
             let arr = Array.of_list cycle in
             for k = Array.length arr - 2 downto 0 do
               push_layer [ (arr.(k), arr.(k + 1)) ]
@@ -68,6 +77,7 @@ let route_one ~seed g oracle pi =
             match first_unplaced 0 with
             | None -> finished := true
             | Some v ->
+                Metrics.incr c_fallbacks;
                 let a, b = Ats_core.find_unhappy_arc g dist dest_at priority v in
                 push_layer [ (a, b) ]))
   done;
@@ -83,10 +93,16 @@ let route ?(trials = 4) ?(seed = 0) g oracle pi =
   if not (Graph.is_connected g) then
     invalid_arg "Parallel_ats.route: graph must be connected";
   if trials < 1 then invalid_arg "Parallel_ats.route: trials must be positive";
+  let trial k =
+    Metrics.incr c_trials;
+    Trace.with_span "ats_trial"
+      ~attrs:[ ("trial", Trace.Int k); ("serial", Trace.Bool false) ]
+      (fun () -> route_one ~seed:(seed + k) g oracle pi)
+  in
   let rec best k champion =
     if k >= trials then champion
     else begin
-      let candidate = route_one ~seed:(seed + k) g oracle pi in
+      let candidate = trial k in
       let champion =
         if Schedule.depth candidate < Schedule.depth champion then candidate
         else champion
@@ -94,4 +110,4 @@ let route ?(trials = 4) ?(seed = 0) g oracle pi =
       best (k + 1) champion
     end
   in
-  best 1 (route_one ~seed g oracle pi)
+  best 1 (trial 0)

@@ -3,6 +3,13 @@ module Distance = Qr_graph.Distance
 module Perm = Qr_perm.Perm
 module Rng = Qr_util.Rng
 module Schedule = Qr_route.Schedule
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
+let c_happy = Metrics.counter "ats_happy_swaps"
+let c_cycle = Metrics.counter "ats_cycle_swaps"
+let c_unhappy = Metrics.counter "ats_unhappy_swaps"
+let c_trials = Metrics.counter "ats_trials"
 
 let run_trial g dist pi priority roots cap =
   let n = Graph.num_vertices g in
@@ -31,12 +38,14 @@ let run_trial g dist pi priority roots cap =
           batch := (u, v) :: !batch
         end);
     List.iter (fun (u, v) -> do_swap u v) !batch;
+    Metrics.add c_happy (List.length !batch);
     !batch <> []
   in
   (* Far-end first along a cycle of D: every token on the cycle advances
      one arc using k−1 swaps. *)
   let swap_chain vertices =
     let arr = Array.of_list vertices in
+    Metrics.add c_cycle (Array.length arr - 1);
     for k = Array.length arr - 2 downto 0 do
       do_swap arr.(k) arr.(k + 1)
     done
@@ -58,6 +67,7 @@ let run_trial g dist pi priority roots cap =
                  path (swapping along the whole path would drag the placed
                  token back across it and void the approximation bound). *)
               let a, b = Ats_core.find_unhappy_arc g dist dest_at priority v in
+              Metrics.incr c_unhappy;
               do_swap a b)
   done;
   if !ok then Some (List.rev !swaps) else None
@@ -84,7 +94,12 @@ let serial ?(trials = 1) ?(seed = 0) g oracle pi =
         (p, List.sort (fun a b -> compare p.(a) p.(b)) identity_order)
       end
     in
-    match run_trial g dist pi priority roots cap with
+    Metrics.incr c_trials;
+    match
+      Trace.with_span "ats_trial"
+        ~attrs:[ ("trial", Trace.Int trial); ("serial", Trace.Bool true) ]
+        (fun () -> run_trial g dist pi priority roots cap)
+    with
     | None -> ()
     | Some swaps -> (
         match !best with

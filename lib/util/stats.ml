@@ -27,7 +27,7 @@ let percentile xs p =
   check_nonempty "Stats.percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
@@ -41,6 +41,8 @@ let percentile xs p =
 let median xs = percentile xs 50.
 
 let of_ints xs = Array.map float_of_int xs
+
+let of_list xs = Array.of_list xs
 
 let summary xs =
   let lo, hi = min_max xs in

@@ -25,5 +25,9 @@ val median : float array -> float
 val of_ints : int array -> float array
 (** Convert integer samples (e.g. schedule depths) for the functions above. *)
 
+val of_list : float list -> float array
+(** Convert accumulated samples (the benchmark loops collect into lists)
+    for the functions above. *)
+
 val summary : float array -> string
 (** One-line ["mean=… sd=… min=… med=… max=…"] rendering. *)

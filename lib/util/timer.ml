@@ -1,10 +1,14 @@
+external monotonic_ns : unit -> int64 = "qr_util_monotonic_ns"
+
+let now_ns = monotonic_ns
+
+let now_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
 type t = float
 
-let now () = Unix.gettimeofday ()
+let start () = now_s ()
 
-let start () = now ()
-
-let elapsed_s t = now () -. t
+let elapsed_s t = now_s () -. t
 
 let time f =
   let t = start () in

@@ -1,4 +1,16 @@
-(** Wall-clock timing for the figure-5 style runtime measurements. *)
+(** Monotonic timing for the figure-5 style runtime measurements and the
+    {!Qr_obs} span tracer.
+
+    All functions read CLOCK_MONOTONIC through a tiny C stub (platforms
+    without [clock_gettime] fall back to [gettimeofday] inside the stub),
+    so measurements are immune to wall-clock jumps. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock.  The epoch is arbitrary; only
+    differences are meaningful. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
 
 type t
 (** A running timer. *)

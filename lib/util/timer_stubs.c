@@ -1,0 +1,28 @@
+/* Monotonic clock for Qr_util.Timer.
+
+   CLOCK_MONOTONIC is immune to wall-clock jumps (NTP steps, manual
+   clock changes), which matters for the paper's figure-5 style runtime
+   measurements and for the Qr_obs span tracer.  Platforms without
+   clock_gettime fall back to gettimeofday, preserving the old
+   behaviour. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value qr_util_monotonic_ns(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                           + (int64_t)ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000LL
+                           + (int64_t)tv.tv_usec * 1000LL);
+  }
+}

@@ -1,0 +1,406 @@
+(* Tests for Qr_obs: Json round-trips, span tracing, metrics registry. *)
+
+module Json = Qr_obs.Json
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* Every test leaves the global sinks disabled so suites can run in any
+   order. *)
+let with_clean_sinks f =
+  let finally () =
+    ignore (Trace.stop ());
+    Metrics.disable ();
+    Metrics.reset ()
+  in
+  Fun.protect ~finally f
+
+(* ----------------------------------------------------------------- Json *)
+
+let test_json_print () =
+  checks "scalars"
+    {|{"a":null,"b":true,"c":-3,"d":"x\"y\n","e":[1,2.5]}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("a", Json.Null);
+            ("b", Json.Bool true);
+            ("c", Json.Int (-3));
+            ("d", Json.String "x\"y\n");
+            ("e", Json.List [ Json.Int 1; Json.Float 2.5 ]);
+          ]))
+
+let test_json_float_keeps_kind () =
+  (* Integer-valued floats must still parse back as floats. *)
+  let doc = Json.List [ Json.Float 5.0; Json.Int 5 ] in
+  match Json.of_string (Json.to_string doc) with
+  | Ok (Json.List [ Json.Float f; Json.Int i ]) ->
+      check (Alcotest.float 0.) "float survives" 5.0 f;
+      checki "int survives" 5 i
+  | Ok other -> Alcotest.failf "unexpected shape: %s" (Json.to_string other)
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_json_nonfinite_is_null () =
+  checks "nan -> null" "[null,null]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity ]))
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.String "röute \t \\ \x07");
+        ("xs", Json.List [ Json.Int 0; Json.Int (-42); Json.Float 1e-3 ]);
+        ("nested", Json.Obj [ ("deep", Json.List [ Json.Obj [] ]) ]);
+        ("flag", Json.Bool false);
+        ("nothing", Json.Null);
+      ]
+  in
+  let again = Json.of_string_exn (Json.to_string doc) in
+  checkb "round-trip equal" true (Json.equal doc again)
+
+let test_json_parse_escapes () =
+  match Json.of_string {|"aAé\n"|} with
+  | Ok (Json.String s) -> checks "escapes decoded" "aA\xc3\xa9\n" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_parse_errors () =
+  let is_error s =
+    match Json.of_string s with Error _ -> true | Ok _ -> false
+  in
+  checkb "trailing garbage" true (is_error "1 2");
+  checkb "unterminated string" true (is_error {|"abc|});
+  checkb "bare word" true (is_error "nul");
+  checkb "missing comma" true (is_error {|[1 2]|});
+  checkb "empty input" true (is_error "");
+  checkb "trailing newline ok" false (is_error "[1,2]\n")
+
+let test_json_member () =
+  let doc = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  checkb "present" true (Json.member "a" doc = Some (Json.Int 1));
+  checkb "null field present" true (Json.member "b" doc = Some Json.Null);
+  checkb "absent" true (Json.member "c" doc = None);
+  checkb "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* ---------------------------------------------------------------- Trace *)
+
+let test_trace_disabled_noop () =
+  with_clean_sinks @@ fun () ->
+  checkb "disabled" false (Trace.enabled ());
+  let r = Trace.with_span "ghost" (fun () -> 7) in
+  checki "value passes through" 7 r;
+  Trace.add_attr "k" (Trace.Int 1);
+  checki "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let test_trace_nesting () =
+  with_clean_sinks @@ fun () ->
+  let _, spans =
+    Trace.run (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner" (fun () -> ());
+            Trace.with_span "inner" (fun () -> ())))
+  in
+  checki "three spans" 3 (List.length spans);
+  (* Completion order: children before parents. *)
+  (match List.map (fun (s : Trace.span) -> (s.name, s.depth)) spans with
+  | [ ("inner", 1); ("inner", 1); ("outer", 0) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected order/depths: %s"
+        (String.concat "; "
+           (List.map (fun (n, d) -> Printf.sprintf "%s@%d" n d) other)));
+  let outer = List.nth spans 2 in
+  let inner_total =
+    List.fold_left
+      (fun acc (s : Trace.span) ->
+        if s.name = "inner" then Int64.add acc s.dur_ns else acc)
+      0L spans
+  in
+  checkb "durations nonnegative" true
+    (List.for_all (fun (s : Trace.span) -> s.dur_ns >= 0L) spans);
+  checkb "outer contains children" true (outer.dur_ns >= inner_total);
+  checkb "self = dur - children" true
+    (outer.self_ns = Int64.sub outer.dur_ns inner_total)
+
+let test_trace_attrs_and_exceptions () =
+  with_clean_sinks @@ fun () ->
+  let (), spans =
+    Trace.run (fun () ->
+        (try
+           Trace.with_span "failing" ~attrs:[ ("static", Trace.Bool true) ]
+             (fun () ->
+               Trace.add_attr "late" (Trace.Int 9);
+               failwith "boom")
+         with Failure _ -> ());
+        Trace.add_attr "orphan" (Trace.Int 0))
+  in
+  match spans with
+  | [ s ] ->
+      checks "recorded despite raise" "failing" s.name;
+      checkb "static attr kept" true
+        (List.mem_assoc "static" s.attrs);
+      checkb "late attr kept" true (List.mem_assoc "late" s.attrs)
+  | _ -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_trace_stop_clears () =
+  with_clean_sinks @@ fun () ->
+  Trace.start ();
+  Trace.with_span "a" (fun () -> ());
+  let first = Trace.stop () in
+  checki "one span" 1 (List.length first);
+  checkb "disabled after stop" false (Trace.enabled ());
+  checki "stop drained" 0 (List.length (Trace.stop ()));
+  Trace.with_span "b" (fun () -> ());
+  checki "nothing recorded while off" 0 (List.length (Trace.spans ()))
+
+let test_trace_chrome_json () =
+  with_clean_sinks @@ fun () ->
+  let (), spans =
+    Trace.run (fun () ->
+        Trace.with_span "phase" ~attrs:[ ("k", Trace.Int 3) ] (fun () -> ()))
+  in
+  let doc = Trace.to_chrome_json spans in
+  (* Must survive a print/parse cycle and contain a complete event. *)
+  let again = Json.of_string_exn (Json.to_string doc) in
+  match Json.member "traceEvents" again with
+  | Some (Json.List [ ev ]) ->
+      checkb "name" true (Json.member "name" ev = Some (Json.String "phase"));
+      checkb "complete event" true
+        (Json.member "ph" ev = Some (Json.String "X"));
+      checkb "has ts" true (Json.member "ts" ev <> None);
+      checkb "has dur" true (Json.member "dur" ev <> None);
+      (match Json.member "args" ev with
+      | Some args -> checkb "attr" true (Json.member "k" args = Some (Json.Int 3))
+      | None -> Alcotest.fail "missing args")
+  | _ -> Alcotest.fail "expected traceEvents with one event"
+
+let test_trace_summary () =
+  with_clean_sinks @@ fun () ->
+  let (), spans =
+    Trace.run (fun () ->
+        Trace.with_span "a" (fun () ->
+            Trace.with_span "b" (fun () -> ()));
+        Trace.with_span "a" (fun () -> ()))
+  in
+  let rows = Trace.summary spans in
+  checki "two rows" 2 (List.length rows);
+  let row name = List.find (fun (r : Trace.row) -> r.span_name = name) rows in
+  checki "a count" 2 (row "a").count;
+  checki "b count" 1 (row "b").count;
+  checkb "max <= total" true ((row "a").max_ns <= (row "a").total_ns);
+  (* Self-times partition the wall time: sum of self = sum of root durs. *)
+  let self_sum =
+    List.fold_left (fun acc (r : Trace.row) -> Int64.add acc r.self_total_ns)
+      0L rows
+  in
+  let root_sum =
+    List.fold_left
+      (fun acc (s : Trace.span) ->
+        if s.depth = 0 then Int64.add acc s.dur_ns else acc)
+      0L spans
+  in
+  checkb "self-times partition wall time" true (self_sum = root_sum);
+  let table = Trace.summary_table spans in
+  checkb "table mentions both" true
+    (String.length table > 0
+    && String.index_opt table 'a' <> None
+    && String.index_opt table 'b' <> None)
+
+(* -------------------------------------------------------------- Metrics *)
+
+let test_metrics_disabled_noop () =
+  with_clean_sinks @@ fun () ->
+  let c = Metrics.counter "t_noop_counter" in
+  let g = Metrics.gauge "t_noop_gauge" in
+  let h = Metrics.histogram "t_noop_hist" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.set g 3.5;
+  Metrics.observe h 2.0;
+  checki "counter untouched" 0 (Metrics.value c);
+  checkb "gauge untouched" true (Metrics.gauge_value g = None);
+  checki "histogram untouched" 0 (Metrics.histogram_count h)
+
+let test_metrics_counter () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let c = Metrics.counter "t_counter" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "accumulates" 5 (Metrics.value c);
+  checkb "lookup finds it" true (Metrics.find_counter "t_counter" = Some c);
+  checkb "unknown is None" true (Metrics.find_counter "t_missing" = None);
+  (* Re-registration returns the same instrument. *)
+  let c' = Metrics.counter "t_counter" in
+  Metrics.incr c';
+  checki "shared" 6 (Metrics.value c);
+  Metrics.reset ();
+  checki "reset zeroes" 0 (Metrics.value c)
+
+let test_metrics_kind_clash () =
+  with_clean_sinks @@ fun () ->
+  ignore (Metrics.counter "t_clash");
+  checkb "gauge over counter rejected" true
+    (try
+       ignore (Metrics.gauge "t_clash");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_gauge () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let g = Metrics.gauge "t_gauge" in
+  Metrics.set g 1.5;
+  Metrics.set g (-2.0);
+  checkb "last value wins" true (Metrics.gauge_value g = Some (-2.0))
+
+let test_metrics_histogram_buckets () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "t_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 100.0 ];
+  checki "count" 7 (Metrics.histogram_count h);
+  Alcotest.check (Alcotest.float 1e-9) "sum" 112.0 (Metrics.histogram_sum h);
+  (* Bounds are inclusive upper bounds; above the last bound -> overflow. *)
+  (match Metrics.bucket_counts h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+      Alcotest.check (Alcotest.float 0.) "bound 1" 1.0 b1;
+      Alcotest.check (Alcotest.float 0.) "bound 2" 2.0 b2;
+      Alcotest.check (Alcotest.float 0.) "bound 3" 4.0 b3;
+      checkb "overflow bound" true (binf = infinity);
+      checki "<=1" 2 c1;
+      checki "(1,2]" 2 c2;
+      checki "(2,4]" 2 c3;
+      checki ">4" 1 cinf
+  | other -> Alcotest.failf "expected 4 buckets, got %d" (List.length other));
+  Metrics.reset ();
+  checki "reset count" 0 (Metrics.histogram_count h);
+  checkb "reset buckets" true
+    (List.for_all (fun (_, c) -> c = 0) (Metrics.bucket_counts h))
+
+let test_metrics_default_buckets () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let h = Metrics.histogram "t_hist_default" in
+  Metrics.observe h 3.0;
+  Metrics.observe h 5000.0;
+  (* Default bounds are powers of two 1..1024 plus overflow. *)
+  checki "eleven bounds plus overflow" 12 (List.length (Metrics.bucket_counts h));
+  checki "observation in (2,4]" 1
+    (List.assoc 4.0 (Metrics.bucket_counts h));
+  checki "overflow catches big" 1
+    (List.assoc infinity (Metrics.bucket_counts h))
+
+let test_metrics_to_json () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let c = Metrics.counter "t_json_counter" in
+  let g = Metrics.gauge "t_json_gauge" in
+  let _unset = Metrics.gauge "t_json_gauge_unset" in
+  let h = Metrics.histogram ~buckets:[| 2.0 |] "t_json_hist" in
+  Metrics.add c 3;
+  Metrics.set g 0.5;
+  Metrics.observe h 1.0;
+  Metrics.observe h 9.0;
+  let doc = Json.of_string_exn (Json.to_string (Metrics.to_json ())) in
+  (match Json.member "counters" doc with
+  | Some counters ->
+      checkb "counter value" true
+        (Json.member "t_json_counter" counters = Some (Json.Int 3))
+  | None -> Alcotest.fail "missing counters");
+  (match Json.member "gauges" doc with
+  | Some gauges ->
+      checkb "gauge value" true
+        (Json.member "t_json_gauge" gauges = Some (Json.Float 0.5));
+      checkb "unset gauge omitted" true
+        (Json.member "t_json_gauge_unset" gauges = None)
+  | None -> Alcotest.fail "missing gauges");
+  match Json.member "histograms" doc with
+  | Some hists -> (
+      match Json.member "t_json_hist" hists with
+      | Some hist ->
+          checkb "hist count" true (Json.member "count" hist = Some (Json.Int 2));
+          checkb "hist sum" true
+            (Json.member "sum" hist = Some (Json.Float 10.0));
+          (match Json.member "buckets" hist with
+          | Some (Json.List buckets) -> checki "two buckets" 2 (List.length buckets)
+          | _ -> Alcotest.fail "missing buckets")
+      | None -> Alcotest.fail "missing t_json_hist")
+  | None -> Alcotest.fail "missing histograms"
+
+(* ---------------------------------------------- instrumented routing run *)
+
+let test_routed_counters_consistent () =
+  (* End-to-end: spans and counters from an instrumented routing call, with
+     swap_layers equal to the schedule depth actually returned. *)
+  with_clean_sinks @@ fun () ->
+  Metrics.reset ();
+  Metrics.enable ();
+  let grid = Qroute.Grid.make ~rows:6 ~cols:6 in
+  let pi = Qroute.Rng.permutation (Qroute.Rng.create 5) (Qroute.Grid.size grid) in
+  let sched, spans =
+    Trace.run (fun () -> Qroute.Strategy.route Qroute.Strategy.Best grid pi)
+  in
+  Metrics.disable ();
+  let names = List.map (fun (s : Trace.span) -> s.name) spans in
+  List.iter
+    (fun required ->
+      checkb (required ^ " span present") true (List.mem required names))
+    [ "route"; "band_search"; "mcbbm_assign"; "round1_columns";
+      "round2_rows"; "round3_columns" ];
+  let counter name =
+    match Metrics.find_counter name with
+    | Some c -> Metrics.value c
+    | None -> Alcotest.failf "counter %s not registered" name
+  in
+  checki "route_calls" 1 (counter "route_calls");
+  checki "swap_layers = depth" (Qroute.Schedule.depth sched)
+    (counter "swap_layers");
+  checki "swaps_total = size" (Qroute.Schedule.size sched)
+    (counter "swaps_total");
+  checkb "band_search_iterations counted" true
+    (counter "band_search_iterations" > 0)
+
+let () =
+  Alcotest.run "qr_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "float kind" `Quick test_json_float_keeps_kind;
+          Alcotest.test_case "nonfinite" `Quick test_json_nonfinite_is_null;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "attrs/exceptions" `Quick
+            test_trace_attrs_and_exceptions;
+          Alcotest.test_case "stop clears" `Quick test_trace_stop_clears;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+          Alcotest.test_case "summary" `Quick test_trace_summary;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "gauge" `Quick test_metrics_gauge;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_metrics_histogram_buckets;
+          Alcotest.test_case "default buckets" `Quick
+            test_metrics_default_buckets;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "instrumented route" `Quick
+            test_routed_counters_consistent;
+        ] );
+    ]

@@ -156,6 +156,28 @@ let test_stats_percentile () =
   feq "p100" 50. (Stats.percentile xs 100.);
   feq "p25" 20. (Stats.percentile xs 25.)
 
+let test_stats_percentile_interpolates () =
+  feq "p50 of pair" 15. (Stats.percentile [| 10.; 20. |] 50.);
+  feq "p90 interpolated" 46. (Stats.percentile [| 10.; 20.; 30.; 40.; 50. |] 90.)
+
+let test_stats_percentile_singleton () =
+  feq "p0" 7. (Stats.percentile [| 7. |] 0.);
+  feq "p50" 7. (Stats.percentile [| 7. |] 50.);
+  feq "p100" 7. (Stats.percentile [| 7. |] 100.)
+
+let test_stats_percentile_unsorted_negative () =
+  (* Array.sort with Float.compare must order negatives correctly. *)
+  let xs = [| 3.; -5.; 0.; -1.; 2. |] in
+  feq "min via p0" (-5.) (Stats.percentile xs 0.);
+  feq "max via p100" 3. (Stats.percentile xs 100.);
+  feq "median via p50" 0. (Stats.percentile xs 50.)
+
+let test_stats_percentile_input_untouched () =
+  let xs = [| 9.; 1.; 5. |] in
+  ignore (Stats.percentile xs 50.);
+  check Alcotest.(array (float 0.)) "input not sorted in place"
+    [| 9.; 1.; 5. |] xs
+
 let test_stats_empty_rejected () =
   Alcotest.check_raises "mean of empty"
     (Invalid_argument "Stats.mean: empty sample") (fun () ->
@@ -163,6 +185,12 @@ let test_stats_empty_rejected () =
 
 let test_stats_of_ints () =
   feq "converted mean" 2. (Stats.mean (Stats.of_ints [| 1; 2; 3 |]))
+
+let test_stats_of_list () =
+  check Alcotest.(array (float 0.)) "list converted" [| 1.; 2.; 3. |]
+    (Stats.of_list [ 1.; 2.; 3. ]);
+  checki "empty list" 0 (Array.length (Stats.of_list []));
+  feq "composes with mean" 2.5 (Stats.mean (Stats.of_list [ 2.; 3. ]))
 
 (* ----------------------------------------------------------------- Heap *)
 
@@ -277,6 +305,29 @@ let test_timer_repeated () =
   let per_run = Timer.time_repeated ~min_runs:3 ~min_time_s:0.0 (fun () -> ()) in
   checkb "mean per-run nonnegative" true (per_run >= 0.)
 
+let test_timer_now_ns_monotonic () =
+  let prev = ref (Timer.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Timer.now_ns () in
+    checkb "never goes backwards" true (t >= !prev);
+    prev := t
+  done
+
+let test_timer_now_ns_advances () =
+  (* The clock must actually tick: burn some work and require progress. *)
+  let t0 = Timer.now_ns () in
+  let x = ref 0 in
+  while Timer.now_ns () = t0 && !x < 100_000_000 do
+    incr x
+  done;
+  checkb "clock advances" true (Timer.now_ns () > t0)
+
+let test_timer_now_s_matches_ns () =
+  let ns = Timer.now_ns () in
+  let s = Timer.now_s () in
+  let dt = s -. (Int64.to_float ns *. 1e-9) in
+  checkb "same clock (within 1s)" true (dt >= 0. && dt < 1.)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qr_util"
@@ -310,8 +361,17 @@ let () =
           Alcotest.test_case "median odd" `Quick test_stats_median_odd;
           Alcotest.test_case "median even" `Quick test_stats_median_even;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interpolates" `Quick
+            test_stats_percentile_interpolates;
+          Alcotest.test_case "percentile singleton" `Quick
+            test_stats_percentile_singleton;
+          Alcotest.test_case "percentile negatives" `Quick
+            test_stats_percentile_unsorted_negative;
+          Alcotest.test_case "percentile pure" `Quick
+            test_stats_percentile_input_untouched;
           Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
           Alcotest.test_case "of_ints" `Quick test_stats_of_ints;
+          Alcotest.test_case "of_list" `Quick test_stats_of_list;
         ] );
       ( "heap",
         [
@@ -334,5 +394,10 @@ let () =
           Alcotest.test_case "monotone" `Quick test_timer_monotone;
           Alcotest.test_case "time" `Quick test_timer_time;
           Alcotest.test_case "repeated" `Quick test_timer_repeated;
+          Alcotest.test_case "now_ns monotonic" `Quick
+            test_timer_now_ns_monotonic;
+          Alcotest.test_case "now_ns advances" `Quick test_timer_now_ns_advances;
+          Alcotest.test_case "now_s matches now_ns" `Quick
+            test_timer_now_s_matches_ns;
         ] );
     ]
