@@ -27,22 +27,24 @@
 
 open Qroute
 
+(* Module aliases alone do not force the umbrella's initializer; complete
+   the engine registry explicitly (idempotent). *)
+let () = Token_engines.register ()
+
 let default_sides = [ 4; 8; 12; 16; 20; 24 ]
 
 let seeds = 5
 
-let strategies =
-  [ Strategy.Local; Strategy.Naive; Strategy.Ats; Strategy.Ats_serial;
-    Strategy.Snake ]
-
 (* One measured cell of the sweep: mean depth and mean seconds over seeds,
    with the correctness of each schedule asserted. *)
-let measure ?on_sample grid kind strategy =
+let measure ?on_sample grid kind engine =
   let depths = Array.make seeds 0. in
   let times = Array.make seeds 0. in
   for seed = 0 to seeds - 1 do
     let pi = Generators.generate grid kind (Rng.create (1000 + seed)) in
-    let sched, seconds = Timer.time (fun () -> Strategy.route strategy grid pi) in
+    let sched, seconds =
+      Timer.time (fun () -> Router_intf.route_grid engine grid pi)
+    in
     assert (Schedule.realizes ~n:(Grid.size grid) sched pi);
     depths.(seed) <- float_of_int (Schedule.depth sched);
     times.(seed) <- seconds;
@@ -86,43 +88,46 @@ let write_csv name rows =
 let csv_rows : (int * string * string * int * int * int * float) list ref =
   ref []
 
-let record_csv side kind strategy seed depth swaps seconds =
+let record_csv side kind engine seed depth swaps seconds =
   if csv_dir () <> None then
     csv_rows :=
-      (side, Generators.name kind, Strategy.name strategy, seed, depth, swaps,
-       seconds)
+      (side, Generators.name kind, engine.Router_intf.name, seed, depth,
+       swaps, seconds)
       :: !csv_rows
 
+(* The sweep's engine set and column headers come from the registry, so a
+   newly registered engine shows up in Figures 4 and 5 with no harness
+   change. *)
 let sweep sides pick render unit_label ~with_bound =
-  Printf.printf "%-6s %-13s %12s %12s %12s %12s %12s%s\n" "grid" "workload"
-    "local" "naive" "ats" "ats-serial" "snake"
-    (if with_bound then "        bound" else "");
+  let engines = Router_registry.all () in
+  Printf.printf "%-6s %-13s" "grid" "workload";
+  List.iter
+    (fun e -> Printf.printf " %12s" e.Router_intf.name)
+    engines;
+  if with_bound then Printf.printf "        bound";
+  print_newline ();
   List.iter
     (fun side ->
       let grid = Grid.make ~rows:side ~cols:side in
       List.iter
         (fun kind ->
-          let cells =
-            List.map
-              (fun strategy ->
+          Printf.printf "%-6s %-13s"
+            (Printf.sprintf "%dx%d" side side)
+            (Generators.name kind);
+          List.iter
+            (fun engine ->
+              let cell =
                 pick
                   (measure
                      ~on_sample:(fun seed depth swaps seconds ->
-                       record_csv side kind strategy seed depth swaps seconds)
-                     grid kind strategy))
-              strategies
-          in
-          Printf.printf "%-6s %-13s %12s %12s %12s %12s %12s%s\n"
-            (Printf.sprintf "%dx%d" side side)
-            (Generators.name kind)
-            (render (List.nth cells 0))
-            (render (List.nth cells 1))
-            (render (List.nth cells 2))
-            (render (List.nth cells 3))
-            (render (List.nth cells 4))
-            (if with_bound then
-               Printf.sprintf " %12.2f" (mean_lower_bound grid kind)
-             else ""))
+                       record_csv side kind engine seed depth swaps seconds)
+                     grid kind engine)
+              in
+              Printf.printf " %12s" (render cell))
+            engines;
+          if with_bound then
+            Printf.printf " %12.2f" (mean_lower_bound grid kind);
+          print_newline ())
         (Generators.paper_kinds grid))
     sides;
   Printf.printf "(%s; mean over %d seeds)\n" unit_label seeds
@@ -155,14 +160,14 @@ let fig5 sides =
    end-to-end wall clock. *)
 let phases sides =
   header "Phase breakdown: where the routing time goes (random workload)";
-  let strategies = [ Strategy.Local; Strategy.Naive; Strategy.Ats ] in
+  let engines = Router_registry.all () in
   let grids_json =
     List.map
       (fun side ->
         let grid = Grid.make ~rows:side ~cols:side in
         let per_strategy =
           List.map
-            (fun strategy ->
+            (fun engine ->
               Trace.start ();
               Metrics.reset ();
               Metrics.enable ();
@@ -171,20 +176,20 @@ let phases sides =
                   Generators.generate grid Generators.Random
                     (Rng.create (1000 + seed))
                 in
-                let sched = Strategy.route strategy grid pi in
+                let sched = Router_intf.route_grid engine grid pi in
                 assert (Schedule.realizes ~n:(Grid.size grid) sched pi)
               done;
               let spans = Trace.stop () in
               Metrics.disable ();
               Printf.printf "\n-- %dx%d  %s  (%d seeds)\n%s" side side
-                (Strategy.name strategy) seeds (Trace.summary_table spans);
+                engine.Router_intf.name seeds (Trace.summary_table spans);
               Obs_json.Obj
                 [
-                  ("strategy", Obs_json.String (Strategy.name strategy));
+                  ("strategy", Obs_json.String engine.Router_intf.name);
                   ("phases", Trace.summary_json spans);
                   ("metrics", Metrics.to_json ());
                 ])
-            strategies
+            engines
         in
         Obs_json.Obj
           [
@@ -220,20 +225,25 @@ let ablation_discovery_assignment () =
   let grid = Grid.make ~rows:side ~cols:side in
   Printf.printf "%-13s %14s %14s %14s %14s %14s\n" "workload" "doubling+mcbbm"
     "doubling+arb" "whole+mcbbm" "whole+arb" "band4+mcbbm";
+  (* Each cell is the [local1] engine under a different configuration —
+     the knobs travel through Router_config rather than ad-hoc labels. *)
   let configurations =
-    [ (Local_grid_route.Doubling, Local_grid_route.Mcbbm);
-      (Local_grid_route.Doubling, Local_grid_route.Arbitrary);
-      (Local_grid_route.Whole, Local_grid_route.Mcbbm);
-      (Local_grid_route.Whole, Local_grid_route.Arbitrary);
-      (Local_grid_route.Fixed_band 4, Local_grid_route.Mcbbm) ]
+    List.map
+      (fun spec -> Router_config.of_string_exn spec)
+      [ "discovery=doubling,assignment=mcbbm";
+        "discovery=doubling,assignment=arbitrary";
+        "discovery=whole,assignment=mcbbm";
+        "discovery=whole,assignment=arbitrary";
+        "discovery=fixed:4,assignment=mcbbm" ]
   in
+  let local1 = Router_registry.get "local1" in
   List.iter
     (fun kind ->
-      let mean_depth (discovery, assignment) =
+      let mean_depth config =
         let depths = Array.make seeds 0. in
         for seed = 0 to seeds - 1 do
           let pi = Generators.generate grid kind (Rng.create (2000 + seed)) in
-          let sched = Local_grid_route.route ~discovery ~assignment grid pi in
+          let sched = Router_intf.route_grid ~config local1 grid pi in
           assert (Schedule.realizes ~n:(Grid.size grid) sched pi);
           depths.(seed) <- float_of_int (Schedule.depth sched)
         done;
@@ -247,25 +257,28 @@ let ablation_discovery_assignment () =
 
 let ablation_transpose () =
   header "Ablation B: transpose trick (Algorithm 1 vs Algorithm 2 alone)";
-  Printf.printf "%-8s %-13s %10s %10s\n" "grid" "workload" "local1" "local";
+  Printf.printf "%-8s %-13s %14s %13s\n" "grid" "workload" "transpose=off"
+    "transpose=on";
+  let local = Router_registry.get "local" in
   List.iter
     (fun (m, n) ->
       let grid = Grid.make ~rows:m ~cols:n in
       List.iter
         (fun kind ->
-          let mean strategy =
+          let mean config =
             let depths = Array.make seeds 0. in
             for seed = 0 to seeds - 1 do
               let pi = Generators.generate grid kind (Rng.create (3000 + seed)) in
-              let sched = Strategy.route strategy grid pi in
+              let sched = Router_intf.route_grid ~config local grid pi in
               depths.(seed) <- float_of_int (Schedule.depth sched)
             done;
             Stats.mean depths
           in
-          Printf.printf "%-8s %-13s %10.2f %10.2f\n"
+          Printf.printf "%-8s %-13s %14.2f %13.2f\n"
             (Printf.sprintf "%dx%d" m n)
             (Generators.name kind)
-            (mean Strategy.Local_single) (mean Strategy.Local))
+            (mean { Router_config.default with transpose = false })
+            (mean Router_config.default))
         (Generators.paper_kinds grid))
     [ (8, 24); (24, 8); (16, 16) ]
 
@@ -279,19 +292,24 @@ let ablation_compaction () =
   List.iter
     (fun kind ->
       List.iter
-        (fun strategy ->
+        (fun name ->
+          let engine = Router_registry.get name in
           let before = Array.make seeds 0. and after = Array.make seeds 0. in
           for seed = 0 to seeds - 1 do
             let pi = Generators.generate grid kind (Rng.create (4000 + seed)) in
-            let sched = Strategy.route strategy grid pi in
-            let compacted = Schedule.compact ~n sched in
+            let sched = Router_intf.route_grid engine grid pi in
+            let compacted =
+              Router_intf.route_grid
+                ~config:{ Router_config.default with compaction = true }
+                engine grid pi
+            in
             assert (Schedule.realizes ~n compacted pi);
             before.(seed) <- float_of_int (Schedule.depth sched);
             after.(seed) <- float_of_int (Schedule.depth compacted)
           done;
           Printf.printf "%-13s %-11s %10.2f %12.2f\n" (Generators.name kind)
-            (Strategy.name strategy) (Stats.mean before) (Stats.mean after))
-        [ Strategy.Local; Strategy.Naive ])
+            name (Stats.mean before) (Stats.mean after))
+        [ "local"; "naive" ])
     (Generators.paper_kinds grid)
 
 let ablation_decompose () =
@@ -324,16 +342,17 @@ let ablation_ats_trials () =
   header "Ablation E: randomized trials in parallel ATS";
   let side = 16 in
   let grid = Grid.make ~rows:side ~cols:side in
-  let g = Grid.graph grid and oracle = Distance.of_grid grid in
+  let ats = Router_registry.get "ats" in
   Printf.printf "%-13s %12s %12s %12s\n" "workload" "trials=1" "trials=4"
     "trials=8";
   List.iter
     (fun kind ->
       let mean trials =
+        let config = { Router_config.default with ats_trials = trials } in
         let depths = Array.make seeds 0. in
         for seed = 0 to seeds - 1 do
           let pi = Generators.generate grid kind (Rng.create (6000 + seed)) in
-          let sched = Parallel_ats.route ~trials g oracle pi in
+          let sched = Router_intf.route_grid ~config ats grid pi in
           depths.(seed) <- float_of_int (Schedule.depth sched)
         done;
         Stats.mean depths

@@ -5,22 +5,49 @@
      sweep      sweep grid sizes and workloads, printing a depth/time table
      transpile  transpile a QASM-subset circuit file onto a grid
      gen        emit a stock circuit in the QASM-subset format
-     stats      describe a workload permutation *)
+     stats      describe a workload permutation
+     engines    list the registered routing engines
+
+   Engines come from the central registry — anything registered (including
+   by a third-party library linked into a custom build) is addressable by
+   name, with no CLI change needed. *)
 
 open Qroute
 open Cmdliner
 
-let strategy_conv =
+(* Referencing only module aliases never forces the umbrella unit's
+   initializer, so complete the registry explicitly (idempotent). *)
+let () = Token_engines.register ()
+
+let engine_conv =
   let parse s =
-    match Strategy.of_name s with
-    | Some strategy -> Ok strategy
+    match Router_registry.find s with
+    | Some engine -> Ok engine
     | None ->
         Error
           (`Msg
-            (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
-               (String.concat ", " (List.map Strategy.name Strategy.all))))
+            (Printf.sprintf "unknown engine %S (registered: %s)" s
+               (String.concat ", " (Router_registry.names ()))))
   in
-  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Strategy.name s))
+  Arg.conv
+    ( parse,
+      fun fmt e -> Format.pp_print_string fmt e.Router_intf.name )
+
+let config_conv =
+  let parse s =
+    match Router_config.of_string s with
+    | Ok config -> Ok config
+    | Error msg -> Error (`Msg ("bad --config: " ^ msg))
+  in
+  Arg.conv (parse, Router_config.pp)
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Router_config.default
+    & info [ "config" ] ~docv:"CONFIG"
+        ~doc:
+          "Router configuration as comma-separated key=value pairs, e.g.            $(b,discovery=whole,transpose=off).  Keys: discovery (doubling,            whole, fixed:<h>), assignment (mcbbm, arbitrary), transpose,            compaction (on/off), trials, seed, best (name+name).")
 
 let kind_conv =
   let parse s =
@@ -48,9 +75,10 @@ let seed_arg =
 let strategy_arg =
   Arg.(
     value
-    & opt strategy_conv Strategy.Best
-    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
-        ~doc:"Routing strategy: local, local1, naive, ats, ats-serial, snake, best.")
+    & opt engine_conv (Router_registry.get "best")
+    & info [ "strategy"; "s" ] ~docv:"ENGINE"
+        ~doc:
+          "Routing engine by registry name (see $(b,qroute engines) for            the list).")
 
 let trace_arg =
   Arg.(
@@ -127,16 +155,16 @@ let route_cmd =
   let show =
     Arg.(value & flag & info [ "show" ] ~doc:"Print the matching layers.")
   in
-  let run rows cols seed strategy kind show trace metrics =
+  let run rows cols seed engine config kind show trace metrics =
     with_observability ~trace ~metrics @@ fun () ->
     let grid = Grid.make ~rows ~cols in
     let pi = Generators.generate grid kind (Rng.create seed) in
     let (sched, seconds) =
-      Timer.time (fun () -> Strategy.route strategy grid pi)
+      Timer.time (fun () -> Router_intf.route_grid ~config engine grid pi)
     in
     assert (Schedule.realizes ~n:(Grid.size grid) sched pi);
     Printf.printf "grid %dx%d  workload %s  strategy %s\n" rows cols
-      (Generators.name kind) (Strategy.name strategy);
+      (Generators.name kind) engine.Router_intf.name;
     Printf.printf
       "depth %d  swaps %d  displacement-bound %d  time %.6fs\n"
       (Schedule.depth sched) (Schedule.size sched)
@@ -153,8 +181,8 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Route one permutation on a grid")
     Term.(
-      const run $ rows_arg $ cols_arg $ seed_arg $ strategy_arg $ kind $ show
-      $ trace_arg $ metrics_arg)
+      const run $ rows_arg $ cols_arg $ seed_arg $ strategy_arg $ config_arg
+      $ kind $ show $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ sweep *)
 
@@ -168,8 +196,19 @@ let sweep_cmd =
   let seeds =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per point.")
   in
-  let run sizes seeds trace metrics =
+  let engines_arg =
+    Arg.(
+      value
+      & opt (some (list engine_conv)) None
+      & info [ "engines" ] ~docv:"NAME,..."
+          ~doc:
+            "Engines to sweep (default: the whole registry).")
+  in
+  let run sizes seeds engines config trace metrics =
     with_observability ~trace ~metrics @@ fun () ->
+    let engines =
+      match engines with Some e -> e | None -> Router_registry.all ()
+    in
     Printf.printf "%-6s %-12s %-11s %8s %8s %10s\n" "grid" "workload"
       "strategy" "depth" "swaps" "time(s)";
     List.iter
@@ -178,29 +217,32 @@ let sweep_cmd =
         List.iter
           (fun kind ->
             List.iter
-              (fun strategy ->
+              (fun engine ->
                 let depths = ref [] and times = ref [] in
                 for seed = 0 to seeds - 1 do
                   let pi = Generators.generate grid kind (Rng.create seed) in
                   let (sched, seconds) =
-                    Timer.time (fun () -> Strategy.route strategy grid pi)
+                    Timer.time (fun () ->
+                        Router_intf.route_grid ~config engine grid pi)
                   in
                   depths := float_of_int (Schedule.depth sched) :: !depths;
                   times := seconds :: !times
                 done;
                 Printf.printf "%-6s %-12s %-11s %8.1f %8s %10.5f\n"
                   (Printf.sprintf "%dx%d" side side)
-                  (Generators.name kind) (Strategy.name strategy)
+                  (Generators.name kind) engine.Router_intf.name
                   (Stats.mean (Array.of_list !depths))
                   "-"
                   (Stats.mean (Array.of_list !times)))
-              [ Strategy.Local; Strategy.Naive; Strategy.Ats ])
+              engines)
           (Generators.paper_kinds grid))
       sizes
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Depth/time sweep over grid sizes and workloads")
-    Term.(const run $ sizes $ seeds $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ sizes $ seeds $ engines_arg $ config_arg $ trace_arg
+      $ metrics_arg)
 
 (* -------------------------------------------------------------- transpile *)
 
@@ -217,7 +259,7 @@ let transpile_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the physical circuit here.")
   in
-  let run rows cols strategy input output trace metrics =
+  let run rows cols engine config input output trace metrics =
     let grid = Grid.make ~rows ~cols in
     match Qasm.load input with
     | Error msg ->
@@ -232,7 +274,8 @@ let transpile_cmd =
         end;
         with_observability ~trace ~metrics @@ fun () ->
         let (result, seconds) =
-          Timer.time (fun () -> transpile ~strategy grid logical)
+          Timer.time (fun () ->
+              Transpile.run_grid ~engine ~config grid logical)
         in
         assert (Transpile.verify_feasible (Grid.graph grid) result);
         Printf.printf
@@ -251,8 +294,8 @@ let transpile_cmd =
   Cmd.v
     (Cmd.info "transpile" ~doc:"Transpile a circuit file onto a grid")
     Term.(
-      const run $ rows_arg $ cols_arg $ strategy_arg $ input $ output
-      $ trace_arg $ metrics_arg)
+      const run $ rows_arg $ cols_arg $ strategy_arg $ config_arg $ input
+      $ output $ trace_arg $ metrics_arg)
 
 (* -------------------------------------------------------------------- gen *)
 
@@ -310,6 +353,35 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Describe a workload permutation")
     Term.(const run $ rows_arg $ cols_arg $ seed_arg $ kind)
 
+(* ---------------------------------------------------------------- engines *)
+
+let engines_cmd =
+  let names_only =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:"Print bare engine names, one per line (for scripting).")
+  in
+  let run names_only =
+    if names_only then
+      List.iter print_endline (Router_registry.names ())
+    else begin
+      Printf.printf "%-11s %-8s %-10s %-8s\n" "engine" "inputs" "transpose"
+        "partial";
+      List.iter
+        (fun e ->
+          let caps = e.Router_intf.capabilities in
+          Printf.printf "%-11s %-8s %-10s %-8s\n" e.Router_intf.name
+            (if caps.Router_intf.grid_only then "grid" else "any")
+            (if caps.Router_intf.supports_transpose then "yes" else "no")
+            (if caps.Router_intf.supports_partial then "yes" else "no"))
+        (Router_registry.all ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "engines" ~doc:"List the registered routing engines")
+    Term.(const run $ names_only)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -317,4 +389,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "qroute" ~version:"1.0.0"
              ~doc:"Locality-aware qubit routing for grid architectures")
-          [ route_cmd; sweep_cmd; transpile_cmd; gen_cmd; stats_cmd ]))
+          [ route_cmd; sweep_cmd; transpile_cmd; gen_cmd; stats_cmd;
+            engines_cmd ]))

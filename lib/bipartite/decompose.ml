@@ -27,10 +27,10 @@ let check_regular ~nl ~nr ~edges =
 
 (* Extract one perfect matching from the sub-multigraph given by the edge
    indices [live]; return (matching, remaining indices). *)
-let extract_one ~nl ~nr ~edges live =
+let extract_one hk ~nl ~nr ~edges live =
   let sub = Array.of_list live in
   let sub_edges = Array.map (fun k -> edges.(k)) sub in
-  let result = Hopcroft_karp.solve ~nl ~nr ~edges:sub_edges in
+  let result = Hopcroft_karp.solve_in hk ~nl ~nr ~edges:sub_edges in
   if result.size <> nl then
     invalid_arg "Decompose: no perfect matching in regular graph (bug)";
   let matching = Array.map (fun k -> sub.(k)) result.left_match in
@@ -40,18 +40,20 @@ let extract_one ~nl ~nr ~edges live =
   let remaining = List.filter (fun k -> not (Hashtbl.mem used k)) live in
   (matching, remaining)
 
-let by_extraction ~nl ~nr ~edges =
+let by_extraction_in hk ~nl ~nr ~edges =
   Trace.with_span "decompose_extraction" @@ fun () ->
   let d = check_regular ~nl ~nr ~edges in
   let all = List.init (Array.length edges) (fun k -> k) in
   let rec loop live remaining_degree acc =
     if remaining_degree = 0 then List.rev acc
     else begin
-      let matching, rest = extract_one ~nl ~nr ~edges live in
+      let matching, rest = extract_one hk ~nl ~nr ~edges live in
       loop rest (remaining_degree - 1) (matching :: acc)
     end
   in
   loop all d []
+
+let by_extraction ~nl ~nr ~edges = by_extraction_in None ~nl ~nr ~edges
 
 (* Split an even-regular edge set into two halves of equal degree by
    alternating edges along Euler circuits.  Vertices: lefts are 0..nl-1,
@@ -121,14 +123,14 @@ let matching_of_one_regular ~nl ~edges live =
     matching;
   matching
 
-let by_euler_split ~nl ~nr ~edges =
+let by_euler_split_in hk ~nl ~nr ~edges =
   Trace.with_span "decompose_euler_split" @@ fun () ->
   let d = check_regular ~nl ~nr ~edges in
   let rec split live remaining_degree =
     if remaining_degree = 0 then []
     else if remaining_degree = 1 then [ matching_of_one_regular ~nl ~edges live ]
     else if remaining_degree mod 2 = 1 then begin
-      let matching, rest = extract_one ~nl ~nr ~edges live in
+      let matching, rest = extract_one hk ~nl ~nr ~edges live in
       matching :: split rest (remaining_degree - 1)
     end
     else begin
@@ -137,6 +139,8 @@ let by_euler_split ~nl ~nr ~edges =
     end
   in
   split (List.init (Array.length edges) (fun k -> k)) d
+
+let by_euler_split ~nl ~nr ~edges = by_euler_split_in None ~nl ~nr ~edges
 
 let validate ~nl ~nr ~edges matchings =
   let num_edges = Array.length edges in

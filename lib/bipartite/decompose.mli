@@ -23,8 +23,19 @@ val by_extraction : nl:int -> nr:int -> edges:(int * int) array -> int array lis
     to the index (into [edges]) of its matched edge; the [d] arrays
     partition the edge-index set.  @raise Invalid_argument if not regular. *)
 
+val by_extraction_in :
+  Hopcroft_karp.workspace option ->
+  nl:int -> nr:int -> edges:(int * int) array -> int array list
+(** {!by_extraction}, reusing Hopcroft–Karp scratch across the repeated
+    extractions (identical results either way). *)
+
 val by_euler_split : nl:int -> nr:int -> edges:(int * int) array -> int array list
 (** Same contract as {!by_extraction}, Euler-splitting strategy. *)
+
+val by_euler_split_in :
+  Hopcroft_karp.workspace option ->
+  nl:int -> nr:int -> edges:(int * int) array -> int array list
+(** Same contract as {!by_extraction_in}, Euler-splitting strategy. *)
 
 val validate :
   nl:int -> nr:int -> edges:(int * int) array -> int array list -> bool

@@ -6,41 +6,74 @@ type result = {
   right_match : int array;
 }
 
+(* Reusable scratch for repeated solves (adjacency build + BFS layers).
+   The matched arrays are excluded: they are the result and must survive
+   the next call.  Arrays grow monotonically and are never shrunk, so a
+   workspace sized by the largest instance serves a whole batch. *)
+type workspace = {
+  mutable count : int array;
+  mutable offsets : int array;
+  mutable cursor : int array;
+  mutable store : int array;
+  mutable dist : int array;
+  queue : int Queue.t;
+}
+
+let make_workspace () =
+  {
+    count = [||];
+    offsets = [||];
+    cursor = [||];
+    store = [||];
+    dist = [||];
+    queue = Queue.create ();
+  }
+
+let workspace = make_workspace
+
+let grown arr n = if Array.length arr >= n then arr else Array.make n 0
+
 let c_calls = Metrics.counter "hk_calls"
 let c_phases = Metrics.counter "hk_phases"
 let c_augmentations = Metrics.counter "hk_augmentations"
 
 let infinity_dist = max_int
 
-(* Build per-left-vertex adjacency as edge-index lists. *)
-let build_adjacency ~nl ~nr ~edges =
-  let count = Array.make nl 0 in
+(* Build per-left-vertex adjacency as edge-index lists, into the
+   workspace's buffers. *)
+let build_adjacency ws ~nl ~nr ~edges =
+  ws.count <- grown ws.count nl;
+  Array.fill ws.count 0 nl 0;
   Array.iter
     (fun (l, r) ->
       if l < 0 || l >= nl || r < 0 || r >= nr then
         invalid_arg "Hopcroft_karp: endpoint out of range";
-      count.(l) <- count.(l) + 1)
+      ws.count.(l) <- ws.count.(l) + 1)
     edges;
-  let offsets = Array.make (nl + 1) 0 in
+  ws.offsets <- grown ws.offsets (nl + 1);
+  ws.offsets.(0) <- 0;
   for l = 0 to nl - 1 do
-    offsets.(l + 1) <- offsets.(l) + count.(l)
+    ws.offsets.(l + 1) <- ws.offsets.(l) + ws.count.(l)
   done;
-  let store = Array.make (Array.length edges) 0 in
-  let cursor = Array.copy offsets in
+  ws.store <- grown ws.store (Array.length edges);
+  ws.cursor <- grown ws.cursor nl;
+  Array.blit ws.offsets 0 ws.cursor 0 nl;
   Array.iteri
     (fun k (l, _) ->
-      store.(cursor.(l)) <- k;
-      cursor.(l) <- cursor.(l) + 1)
-    edges;
-  (offsets, store)
+      ws.store.(ws.cursor.(l)) <- k;
+      ws.cursor.(l) <- ws.cursor.(l) + 1)
+    edges
 
-let solve ~nl ~nr ~edges =
+let solve_in ws ~nl ~nr ~edges =
   Metrics.incr c_calls;
-  let offsets, adj = build_adjacency ~nl ~nr ~edges in
+  let ws = match ws with Some ws -> ws | None -> make_workspace () in
+  build_adjacency ws ~nl ~nr ~edges;
+  let offsets = ws.offsets and adj = ws.store in
   let left_match = Array.make nl (-1) in
   let right_match = Array.make nr (-1) in
-  let dist = Array.make nl infinity_dist in
-  let queue = Queue.create () in
+  ws.dist <- grown ws.dist nl;
+  let dist = ws.dist in
+  let queue = ws.queue in
   let matched_left_of_right r =
     match right_match.(r) with -1 -> -1 | k -> fst edges.(k)
   in
@@ -107,6 +140,8 @@ let solve ~nl ~nr ~edges =
     done
   done;
   { size = !size; left_match; right_match }
+
+let solve ~nl ~nr ~edges = solve_in None ~nl ~nr ~edges
 
 let is_perfect ~nl ~nr result = nl = nr && result.size = nl
 

@@ -17,9 +17,24 @@ type result = {
   right_match : int array;  (** Same, indexed by right vertices. *)
 }
 
+type workspace
+(** Reusable scratch buffers (adjacency build, BFS layers, queue) for
+    repeated solves.  The matched arrays returned in {!result} are always
+    freshly allocated, so results outlive the workspace's next use.
+    Buffers grow monotonically to the largest instance seen. *)
+
+val workspace : unit -> workspace
+(** A fresh, empty workspace. *)
+
 val solve : nl:int -> nr:int -> edges:(int * int) array -> result
 (** Maximum-cardinality matching.  Deterministic: ties are broken by edge
     order.  @raise Invalid_argument on out-of-range endpoints. *)
+
+val solve_in :
+  workspace option -> nl:int -> nr:int -> edges:(int * int) array -> result
+(** {!solve}, reusing the given workspace's scratch buffers.  Purely an
+    allocation optimization: the matching found is identical.
+    [solve_in None] is {!solve}. *)
 
 val is_perfect : nl:int -> nr:int -> result -> bool
 (** Whether every vertex on both sides is matched (requires [nl = nr]). *)

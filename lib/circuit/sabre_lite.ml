@@ -227,6 +227,37 @@ let run ?(config = default_config) ?initial ~graph ~dist circuit =
     swap_layers = !swap_layer_estimate;
   }
 
-let run_grid ?config ?initial grid circuit =
-  run ?config ?initial ~graph:(Grid.graph grid) ~dist:(Distance.of_grid grid)
-    circuit
+let run_grid ?config ?initial ?unwind ?unwind_config grid circuit =
+  let result =
+    run ?config ?initial ~graph:(Grid.graph grid)
+      ~dist:(Distance.of_grid grid) circuit
+  in
+  match unwind with
+  | None -> result
+  | Some engine ->
+      let rho =
+        Layout.routing_target ~src:result.Transpile.final
+          ~dst:result.Transpile.initial
+      in
+      let sched =
+        Qr_route.Router_intf.route_grid ?config:unwind_config engine grid rho
+      in
+      let swap_gates =
+        List.concat_map
+          (fun layer ->
+            Array.to_list layer
+            |> List.map (fun (u, v) -> Gate.Two (Gate.SWAP, u, v)))
+          sched
+      in
+      let n = Circuit.num_qubits result.Transpile.physical in
+      let final = Layout.apply_schedule result.Transpile.final sched in
+      assert (Layout.equal final result.Transpile.initial);
+      {
+        result with
+        Transpile.physical =
+          Circuit.create ~num_qubits:n
+            (Circuit.gates result.Transpile.physical @ swap_gates);
+        final;
+        swap_layers =
+          result.Transpile.swap_layers + Qr_route.Schedule.depth sched;
+      }

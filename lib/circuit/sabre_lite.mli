@@ -37,5 +37,14 @@ val run :
     @raise Invalid_argument on size mismatch. *)
 
 val run_grid :
-  ?config:config -> ?initial:Layout.t -> Qr_graph.Grid.t -> Circuit.t ->
+  ?config:config ->
+  ?initial:Layout.t ->
+  ?unwind:Qr_route.Router_intf.t ->
+  ?unwind_config:Qr_route.Router_config.t ->
+  Qr_graph.Grid.t -> Circuit.t ->
   Transpile.result
+(** Grid convenience.  With [unwind], the final layout is routed back to
+    the initial one by the given engine ({!Layout.routing_target}) and the
+    SWAP layers are appended — the output then composes with circuits
+    expecting the starting layout; [result.final] equals [result.initial]
+    and [swap_layers] includes the unwinding depth. *)

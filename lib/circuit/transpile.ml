@@ -134,12 +134,16 @@ let run ?initial ?on_route ?(extension = Nearest) ~graph ~dist ~router circuit =
     swap_layers = !swap_layers;
   }
 
-let run_grid ?initial ?on_route ?extension ?router grid circuit =
-  let router =
-    match router with
-    | Some r -> r grid
-    | None -> fun rho -> Qr_route.Local_grid_route.route_best_orientation grid rho
+let run_grid ?initial ?on_route ?extension ?engine ?config grid circuit =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Qr_route.Router_registry.get "local"
   in
+  (* One workspace per transpilation: every routed slice reuses the same
+     planning buffers (same-sized instances throughout). *)
+  let ws = Qr_route.Router_workspace.create () in
+  let router rho = Qr_route.Router_intf.route_grid ~ws ?config engine grid rho in
   run ?initial ?on_route ?extension ~graph:(Grid.graph grid)
     ~dist:(Distance.of_grid grid) ~router circuit
 

@@ -53,12 +53,15 @@ val run_grid :
   ?initial:Layout.t ->
   ?on_route:(Qr_perm.Perm.t -> Qr_route.Schedule.t -> unit) ->
   ?extension:extension ->
-  ?router:(Qr_graph.Grid.t -> router) ->
+  ?engine:Qr_route.Router_intf.t ->
+  ?config:Qr_route.Router_config.t ->
   Qr_graph.Grid.t ->
   Circuit.t ->
   result
-(** Grid convenience: default router is the paper's
-    {!Qr_route.Local_grid_route.route_best_orientation}. *)
+(** Grid convenience: route every slice with a registered engine (default
+    ["local"], the paper's LocalGridRoute with the transpose race).  All
+    slices share one {!Qr_route.Router_workspace}, so planning buffers are
+    allocated once per transpilation. *)
 
 val verify_feasible : Qr_graph.Graph.t -> result -> bool
 (** The physical circuit respects the coupling graph. *)

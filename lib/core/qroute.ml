@@ -20,6 +20,10 @@ module Decompose = Qr_bipartite.Decompose
 module Bottleneck = Qr_bipartite.Bottleneck
 module Assignment = Qr_bipartite.Assignment
 module Schedule = Qr_route.Schedule
+module Router_intf = Qr_route.Router_intf
+module Router_config = Qr_route.Router_config
+module Router_registry = Qr_route.Router_registry
+module Router_workspace = Qr_route.Router_workspace
 module Path_route = Qr_route.Path_route
 module Column_graph = Qr_route.Column_graph
 module Grid_route = Qr_route.Grid_route
@@ -29,6 +33,7 @@ module Line_route = Qr_route.Line_route
 module Bounds = Qr_route.Bounds
 module Viz = Qr_route.Viz
 module Token_swap = Qr_token.Token_swap
+module Token_engines = Qr_token.Engines
 module Parallel_ats = Qr_token.Parallel_ats
 module Exact = Qr_token.Exact
 module Gate = Qr_circuit.Gate
@@ -44,6 +49,11 @@ module Sabre_lite = Qr_circuit.Sabre_lite
 module Statevector = Qr_sim.Statevector
 module Unitary = Qr_sim.Unitary
 module Permsim = Qr_sim.Permsim
+
+(* Linking the umbrella completes the registry: the grid engines register
+   when [Router_registry]'s own initializer runs, the token-swapping ones
+   here. *)
+let () = Token_engines.register ()
 
 module Strategy = struct
   type t = Local | Local_single | Naive | Ats | Ats_serial | Snake | Best
@@ -61,60 +71,33 @@ module Strategy = struct
 
   let of_name s = List.find_opt (fun strategy -> name strategy = s) all
 
-  (* Schedule-quality counters, recorded once per top-level routing call
-     from the schedule actually returned — so [swap_layers] always equals
-     the emitted [Schedule.depth] even for strategies (like [Best]) that
-     race several routers internally. *)
-  let c_route_calls = Qr_obs.Metrics.counter "route_calls"
-  let c_swap_layers = Qr_obs.Metrics.counter "swap_layers"
-  let c_swaps_total = Qr_obs.Metrics.counter "swaps_total"
+  let engine strategy = Router_registry.get (name strategy)
 
-  let route strategy grid pi =
-    Qr_obs.Trace.with_span "route"
-      ~attrs:[ ("strategy", Qr_obs.Trace.String (name strategy)) ]
-    @@ fun () ->
-    let sched =
-      match strategy with
-      | Local -> Local_grid_route.route_best_orientation grid pi
-      | Local_single -> Local_grid_route.route grid pi
-      | Naive -> Grid_route.route_naive grid pi
-      | Ats ->
-          Parallel_ats.route (Grid.graph grid) (Distance.of_grid grid) pi
-      | Ats_serial ->
-          Token_swap.schedule (Grid.graph grid) (Distance.of_grid grid) pi
-      | Snake -> Line_route.route grid pi
-      | Best ->
-          let local = Local_grid_route.route_best_orientation grid pi in
-          let naive = Grid_route.route_naive grid pi in
-          if Schedule.depth naive < Schedule.depth local then naive else local
-    in
-    if Qr_obs.Metrics.enabled () then begin
-      Qr_obs.Metrics.incr c_route_calls;
-      Qr_obs.Metrics.add c_swap_layers (Schedule.depth sched);
-      Qr_obs.Metrics.add c_swaps_total (Schedule.size sched)
-    end;
-    sched
+  let route ?config strategy grid pi =
+    Router_intf.route_grid ?config (engine strategy) grid pi
 
-  let generic_route strategy g oracle pi =
-    match strategy with
-    | Ats_serial -> Token_swap.schedule g oracle pi
-    | Ats | Local | Local_single | Naive | Snake | Best ->
-        Parallel_ats.route g oracle pi
+  let generic_route ?config strategy g oracle pi =
+    Router_registry.route_generic ?config (engine strategy) g oracle pi
 end
 
-let route ?(strategy = Strategy.Best) grid pi = Strategy.route strategy grid pi
+let route ?(strategy = Strategy.Best) ?config grid pi =
+  Strategy.route ?config strategy grid pi
 
-let route_partial ?(strategy = Strategy.Best) ?policy grid partial =
+let route_many ?(strategy = Strategy.Best) ?config grid pis =
+  Router_intf.route_many ?config (Strategy.engine strategy)
+    (List.map (fun pi -> Router_intf.Grid_input (grid, pi)) pis)
+
+let route_partial ?(strategy = Strategy.Best) ?config ?policy grid partial =
   let policy =
     match policy with
     | Some p -> p
     | None -> Partial_perm.Min_total (fun u v -> Grid.manhattan grid u v)
   in
   let pi = Partial_perm.extend policy partial in
-  (Strategy.route strategy grid pi, pi)
+  (Strategy.route ?config strategy grid pi, pi)
 
-let transpile ?(strategy = Strategy.Best) ?initial ?(place = false) grid
-    circuit =
+let transpile ?(strategy = Strategy.Best) ?config ?initial ?(place = false)
+    grid circuit =
   let initial =
     match initial with
     | Some _ -> initial
@@ -124,6 +107,5 @@ let transpile ?(strategy = Strategy.Best) ?initial ?(place = false) grid
              ~dist:(Distance.of_grid grid) circuit)
     | None -> None
   in
-  Transpile.run_grid ?initial
-    ~router:(fun grid rho -> Strategy.route strategy grid rho)
-    grid circuit
+  Transpile.run_grid ?initial ~engine:(Strategy.engine strategy) ?config grid
+    circuit

@@ -28,6 +28,10 @@ module Decompose = Qr_bipartite.Decompose
 module Bottleneck = Qr_bipartite.Bottleneck
 module Assignment = Qr_bipartite.Assignment
 module Schedule = Qr_route.Schedule
+module Router_intf = Qr_route.Router_intf
+module Router_config = Qr_route.Router_config
+module Router_registry = Qr_route.Router_registry
+module Router_workspace = Qr_route.Router_workspace
 module Path_route = Qr_route.Path_route
 module Column_graph = Qr_route.Column_graph
 module Grid_route = Qr_route.Grid_route
@@ -37,6 +41,7 @@ module Line_route = Qr_route.Line_route
 module Bounds = Qr_route.Bounds
 module Viz = Qr_route.Viz
 module Token_swap = Qr_token.Token_swap
+module Token_engines = Qr_token.Engines
 module Parallel_ats = Qr_token.Parallel_ats
 module Exact = Qr_token.Exact
 module Gate = Qr_circuit.Gate
@@ -53,7 +58,14 @@ module Statevector = Qr_sim.Statevector
 module Unitary = Qr_sim.Unitary
 module Permsim = Qr_sim.Permsim
 
-(** {2 Routing strategies} *)
+(** {2 Routing strategies}
+
+    Linking this module completes the {!Router_registry}: the grid engines
+    register with [qr_route] itself, and the umbrella's initializer adds
+    the token-swapping engines ([ats], [ats-serial]).  {!Strategy} is a
+    thin compatibility shim over the registry — new code should prefer
+    {!Router_registry.get}/{!Router_intf.route} directly, which also cover
+    engines registered by third parties. *)
 
 module Strategy : sig
   type t =
@@ -69,25 +81,41 @@ module Strategy : sig
   val all : t list
 
   val name : t -> string
+  (** Also the {!Router_registry} key of the corresponding engine. *)
 
   val of_name : string -> t option
 
-  val route : t -> Grid.t -> Perm.t -> Schedule.t
+  val engine : t -> Router_intf.t
+  (** The registered engine behind a strategy. *)
+
+  val route : ?config:Router_config.t -> t -> Grid.t -> Perm.t -> Schedule.t
   (** Route a permutation on a grid.  Every strategy returns a valid
       schedule realizing the permutation. *)
 
-  val generic_route : t -> Graph.t -> Distance.t -> Perm.t -> Schedule.t
+  val generic_route :
+    ?config:Router_config.t ->
+    t -> Graph.t -> Distance.t -> Perm.t -> Schedule.t
   (** Router for arbitrary connected coupling graphs: token-swapping
-      strategies run natively; the grid strategies fall back to parallel
-      ATS (grids should use {!route}). *)
+      strategies run natively; grid-only strategies fall back to parallel
+      ATS {e explicitly} — the [router_fallbacks] counter is bumped and a
+      warning printed once per engine ({!Router_registry.route_generic}). *)
 end
 
 val route :
-  ?strategy:Strategy.t -> Grid.t -> Perm.t -> Schedule.t
+  ?strategy:Strategy.t -> ?config:Router_config.t ->
+  Grid.t -> Perm.t -> Schedule.t
 (** [route grid pi] with the paper's default ([Strategy.Best]). *)
+
+val route_many :
+  ?strategy:Strategy.t -> ?config:Router_config.t ->
+  Grid.t -> Perm.t list -> Schedule.t list
+(** Route a batch of permutations on one grid through a shared planning
+    workspace ({!Router_intf.route_many}): same schedules as repeated
+    {!route} calls, fewer allocations. *)
 
 val route_partial :
   ?strategy:Strategy.t ->
+  ?config:Router_config.t ->
   ?policy:Partial_perm.policy ->
   Grid.t -> Partial_perm.t -> Schedule.t * Perm.t
 (** Route a partial permutation (§II's don't-care case): extend it to a
@@ -97,6 +125,7 @@ val route_partial :
 
 val transpile :
   ?strategy:Strategy.t ->
+  ?config:Router_config.t ->
   ?initial:Layout.t ->
   ?place:bool ->
   Grid.t -> Circuit.t -> Transpile.result

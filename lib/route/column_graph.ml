@@ -9,13 +9,18 @@ type t = {
   dst_row : int array;
 }
 
-let build grid pi =
+let build ?reuse grid pi =
   let n = Grid.size grid in
   if Array.length pi <> n then invalid_arg "Column_graph.build: size mismatch";
-  let src_col = Array.make n 0 in
-  let dst_col = Array.make n 0 in
-  let src_row = Array.make n 0 in
-  let dst_row = Array.make n 0 in
+  (* Cannibalize a previous column graph of the same vertex count: the four
+     edge arrays are overwritten wholesale below, so batch callers avoid
+     re-allocating 4n words per permutation. *)
+  let src_col, dst_col, src_row, dst_row =
+    match reuse with
+    | Some prev when Array.length prev.src_col = n ->
+        (prev.src_col, prev.dst_col, prev.src_row, prev.dst_row)
+    | _ -> (Array.make n 0, Array.make n 0, Array.make n 0, Array.make n 0)
+  in
   for v = 0 to n - 1 do
     let r, c = Grid.coord grid v in
     let r', c' = Grid.coord grid pi.(v) in

@@ -11,7 +11,12 @@
 
 type t
 
-val build : Qr_graph.Grid.t -> Qr_perm.Perm.t -> t
+val build : ?reuse:t -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> t
+(** [build grid pi].  Passing [reuse] (a column graph of a same-sized
+    instance, no longer needed) recycles its edge arrays instead of
+    allocating fresh ones — the batched [route_many] seam; the reused value
+    must not be consulted afterwards.  A size mismatch silently falls back
+    to fresh allocation. *)
 
 val rows : t -> int
 (** [m] — also the multigraph's regularity degree. *)

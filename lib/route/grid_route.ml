@@ -156,19 +156,22 @@ let round_depths grid pi sigmas =
   let round1, round2, round3 = route_rounds grid pi sigmas in
   (Schedule.depth round1, Schedule.depth round2, Schedule.depth round3)
 
-let naive_sigmas ?(strategy = Extraction) grid pi =
+let naive_sigmas ?ws ?(strategy = Extraction) grid pi =
   let cg =
-    Trace.with_span "column_graph_build" (fun () -> Column_graph.build grid pi)
+    Trace.with_span "column_graph_build" (fun () ->
+        Column_graph.build ?reuse:(Router_workspace.reusable_cg ws) grid pi)
   in
+  Option.iter (fun w -> Router_workspace.remember_cg w cg) ws;
+  let hk = Router_workspace.hk ws in
   let nl = Column_graph.cols cg in
   let edges = Column_graph.hk_edges cg in
   let matchings =
     match strategy with
-    | Extraction -> Decompose.by_extraction ~nl ~nr:nl ~edges
-    | Euler_split -> Decompose.by_euler_split ~nl ~nr:nl ~edges
+    | Extraction -> Decompose.by_extraction_in hk ~nl ~nr:nl ~edges
+    | Euler_split -> Decompose.by_euler_split_in hk ~nl ~nr:nl ~edges
   in
   let assigned_rows = Array.init (Column_graph.rows cg) (fun k -> k) in
   sigmas_of_assignment cg ~matchings ~assigned_rows
 
-let route_naive ?strategy grid pi =
-  route_with_sigmas grid pi (naive_sigmas ?strategy grid pi)
+let route_naive ?ws ?strategy grid pi =
+  route_with_sigmas grid pi (naive_sigmas ?ws ?strategy grid pi)

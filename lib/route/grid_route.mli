@@ -42,10 +42,13 @@ val round_depths :
 type decompose_strategy = Extraction | Euler_split
 
 val naive_sigmas :
+  ?ws:Router_workspace.t ->
   ?strategy:decompose_strategy -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> sigmas
 (** Arbitrary decomposition, arbitrary row assignment (matching [k] → row
-    [k]) — the baseline of [1].  Default strategy: {!Extraction}. *)
+    [k]) — the baseline of [1].  Default strategy: {!Extraction}.  [ws]
+    reuses planning buffers across calls (identical results). *)
 
 val route_naive :
+  ?ws:Router_workspace.t ->
   ?strategy:decompose_strategy -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
 (** [route_with_sigmas] over {!naive_sigmas}. *)

@@ -31,7 +31,7 @@ let delta cg matching r =
 
 (* Extract perfect matchings from the live edges with source row in
    [lo..hi] until none remains; kill the edges of each matching found. *)
-let drain_band cg ~live ~lo ~hi found =
+let drain_band hk cg ~live ~lo ~hi found =
   let n = Column_graph.cols cg in
   let continue_ = ref true in
   while !continue_ do
@@ -44,7 +44,7 @@ let drain_band cg ~live ~lo ~hi found =
           (fun e -> (Column_graph.src_col cg e, Column_graph.dst_col cg e))
           sub
       in
-      let result = Hopcroft_karp.solve ~nl:n ~nr:n ~edges:sub_edges in
+      let result = Hopcroft_karp.solve_in hk ~nl:n ~nr:n ~edges:sub_edges in
       if result.size < n then continue_ := false
       else begin
         let matching = Array.map (fun k -> sub.(k)) result.left_match in
@@ -56,7 +56,7 @@ let drain_band cg ~live ~lo ~hi found =
     end
   done
 
-let discover_doubling ?(initial_width = 0) cg =
+let discover_doubling ?hk ?(initial_width = 0) cg =
   let m = Column_graph.rows cg in
   let live = Array.make (Column_graph.num_edges cg) true in
   let found = ref [] in
@@ -67,7 +67,7 @@ let discover_doubling ?(initial_width = 0) cg =
     while !r0 < m && List.length !found < m do
       Metrics.incr c_band_windows;
       let hi = min (!r0 + !w) (m - 1) in
-      drain_band cg ~live ~lo:!r0 ~hi found;
+      drain_band hk cg ~live ~lo:!r0 ~hi found;
       r0 := !r0 + !w + 1
     done;
     w := if !w = 0 then 1 else 2 * !w
@@ -75,17 +75,17 @@ let discover_doubling ?(initial_width = 0) cg =
   (* Narrow-band matchings first: they carry the locality. *)
   List.rev !found
 
-let discover_whole cg =
+let discover_whole hk cg =
   let n = Column_graph.cols cg in
-  Decompose.by_extraction ~nl:n ~nr:n ~edges:(Column_graph.hk_edges cg)
+  Decompose.by_extraction_in hk ~nl:n ~nr:n ~edges:(Column_graph.hk_edges cg)
 
-let discover_matchings discovery cg =
+let discover_matchings ?hk discovery cg =
   match discovery with
-  | Doubling -> discover_doubling cg
+  | Doubling -> discover_doubling ?hk cg
   | Fixed_band h ->
       if h <= 0 then invalid_arg "Local_grid_route: band height must be positive";
-      discover_doubling ~initial_width:(h - 1) cg
-  | Whole -> discover_whole cg
+      discover_doubling ?hk ~initial_width:(h - 1) cg
+  | Whole -> discover_whole hk cg
 
 let assign_rows assignment cg matchings =
   let m = Column_graph.rows cg in
@@ -104,33 +104,38 @@ let assign_rows assignment cg matchings =
       Array.iter (fun r -> assert (r >= 0)) assigned;
       assigned
 
-let sigmas ?(discovery = Doubling) ?(assignment = Mcbbm) grid pi =
+let sigmas ?ws ?(discovery = Doubling) ?(assignment = Mcbbm) grid pi =
   let cg =
-    Trace.with_span "column_graph_build" (fun () -> Column_graph.build grid pi)
+    Trace.with_span "column_graph_build" (fun () ->
+        Column_graph.build ?reuse:(Router_workspace.reusable_cg ws) grid pi)
   in
+  Option.iter (fun w -> Router_workspace.remember_cg w cg) ws;
+  let hk = Router_workspace.hk ws in
   let matchings =
     Trace.with_span "band_search"
       ~attrs:[ ("discovery", Trace.String (discovery_name discovery)) ]
-      (fun () -> discover_matchings discovery cg)
+      (fun () -> discover_matchings ?hk discovery cg)
   in
   let assigned_rows =
     Trace.with_span "mcbbm_assign" (fun () -> assign_rows assignment cg matchings)
   in
   Grid_route.sigmas_of_assignment cg ~matchings ~assigned_rows
 
-let route ?discovery ?assignment grid pi =
-  Grid_route.route_with_sigmas grid pi (sigmas ?discovery ?assignment grid pi)
+let route ?ws ?discovery ?assignment grid pi =
+  Grid_route.route_with_sigmas grid pi (sigmas ?ws ?discovery ?assignment grid pi)
 
-let route_best_orientation ?discovery ?assignment grid pi =
+let route_best_orientation ?ws ?discovery ?assignment grid pi =
   let direct =
     Trace.with_span "orientation_direct" (fun () ->
-        route ?discovery ?assignment grid pi)
+        route ?ws ?discovery ?assignment grid pi)
   in
   let transposed =
     Trace.with_span "orientation_transposed" (fun () ->
+        (* The transposed instance has the same vertex count, so it reuses
+           the direct orientation's buffers. *)
         let grid_t = Grid.transpose grid in
         let pi_t = Grid_perm.transpose grid pi in
-        route ?discovery ?assignment grid_t pi_t)
+        route ?ws ?discovery ?assignment grid_t pi_t)
   in
   let lifted =
     Schedule.map_vertices (Grid_perm.untranspose_vertex grid) transposed

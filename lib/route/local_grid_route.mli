@@ -30,26 +30,33 @@ type assignment =
 val delta : Column_graph.t -> int array -> int -> int
 (** [delta cg matching r] is the paper's Δ(M, r). *)
 
-val discover_matchings : discovery -> Column_graph.t -> int array list
+val discover_matchings :
+  ?hk:Qr_bipartite.Hopcroft_karp.workspace ->
+  discovery -> Column_graph.t -> int array list
 (** Decompose the column multigraph into [m] perfect matchings (edge-id
     arrays indexed by column), banded or not.  The result always partitions
-    the edge set ({!Qr_bipartite.Decompose.validate} holds). *)
+    the edge set ({!Qr_bipartite.Decompose.validate} holds).  [hk] reuses
+    matching scratch across the band windows (identical results). *)
 
 val assign_rows : assignment -> Column_graph.t -> int array list -> int array
 (** Row assigned to each matching, in list order. *)
 
 val sigmas :
+  ?ws:Router_workspace.t ->
   ?discovery:discovery -> ?assignment:assignment ->
   Qr_graph.Grid.t -> Qr_perm.Perm.t -> Grid_route.sigmas
 (** Column-phase permutations per Algorithm 2 (default: [Doubling],
-    [Mcbbm]). *)
+    [Mcbbm]).  [ws] reuses planning buffers across calls; schedules are
+    identical with or without it. *)
 
 val route :
+  ?ws:Router_workspace.t ->
   ?discovery:discovery -> ?assignment:assignment ->
   Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
 (** Algorithm 2: LocalGridRoute on the grid as given. *)
 
 val route_best_orientation :
+  ?ws:Router_workspace.t ->
   ?discovery:discovery -> ?assignment:assignment ->
   Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
 (** Algorithm 1 (Main Procedure): run LocalGridRoute on [(G, π)] and on the

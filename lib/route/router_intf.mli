@@ -1,0 +1,94 @@
+(** First-class routing engines with a plan/execute split.
+
+    An {e engine} is a value — name, capability set, and a pair of
+    functions.  [plan] does the thinking (matching discovery, row
+    assignment, search) and returns either the column-phase permutations of
+    the 3-round GridRoute template ([Sigmas]) or a finished schedule
+    ([Ready]); [execute] turns a plan into a schedule.  The split lets
+    callers inspect or cache plans, and lets grid engines defer the
+    odd–even transposition rounds until a schedule is actually needed.
+
+    Engines are registered and enumerated by {!Router_registry}; the
+    observable entry point is {!route}, which wraps the call in the [route]
+    span and records the schedule-quality counters ([route_calls],
+    [swap_layers], [swaps_total]) exactly once per call — engines that race
+    other engines internally go through the uncounted {!run_plan}. *)
+
+type input =
+  | Grid_input of Qr_graph.Grid.t * Qr_perm.Perm.t
+  | Graph_input of Qr_graph.Graph.t * Qr_graph.Distance.t * Qr_perm.Perm.t
+      (** Arbitrary connected coupling graph with a distance oracle. *)
+
+type capabilities = {
+  grid_only : bool;
+      (** The engine rejects {!Graph_input} ({!Unsupported_input});
+          {!Router_registry.route_generic} falls back explicitly. *)
+  supports_transpose : bool;
+      (** The engine reads {!Router_config.t}[.transpose] (Algorithm 1's
+          orientation race). *)
+  supports_partial : bool;
+      (** The engine is safe under the extend-then-route pipeline of
+          partial permutations (all current engines are; a future
+          native-don't-care engine would plan differently). *)
+}
+
+type plan =
+  | Sigmas of {
+      grid : Qr_graph.Grid.t;
+      pi : Qr_perm.Perm.t;
+      sigmas : Grid_route.sigmas;
+    }
+      (** Column-phase permutations; execution is the 3-round template. *)
+  | Ready of Schedule.t  (** Engines that produce schedules directly. *)
+
+type t = {
+  name : string;  (** Registry key; lowercase, stable across releases. *)
+  capabilities : capabilities;
+  plan : Router_workspace.t option -> Router_config.t -> input -> plan;
+  execute : plan -> Schedule.t;  (** Usually {!execute_plan}. *)
+}
+
+exception Unsupported_input of { engine : string; reason : string }
+(** Raised by [plan] when the input shape is outside the engine's
+    capabilities (e.g. a grid-only engine on {!Graph_input}). *)
+
+val unsupported : engine:string -> reason:string -> 'a
+
+val input_size : input -> int
+(** Number of vertices of the underlying device. *)
+
+val input_perm : input -> Qr_perm.Perm.t
+
+val require_grid : engine:string -> input -> Qr_graph.Grid.t * Qr_perm.Perm.t
+(** Destructure a grid input or raise {!Unsupported_input} — the standard
+    first line of a grid-only engine's [plan]. *)
+
+val execute_plan : plan -> Schedule.t
+(** The default executor: [Ready] is returned as-is; [Sigmas] runs
+    {!Grid_route.route_with_sigmas}. *)
+
+val run_plan :
+  ?ws:Router_workspace.t -> t -> Router_config.t -> input -> Schedule.t
+(** Plan, execute, and apply the configured compaction post-pass — with no
+    span and no counters.  Internal composition seam (the [best] engine
+    races contenders through this). *)
+
+val route :
+  ?ws:Router_workspace.t -> ?config:Router_config.t -> t -> input -> Schedule.t
+(** The observable routing call: {!run_plan} wrapped in the [route] span
+    (engine name and configuration as attributes) with the
+    [route_calls]/[swap_layers]/[swaps_total] counters recorded from the
+    returned schedule.  Every engine returns a valid schedule realizing the
+    input permutation.  @raise Unsupported_input outside the engine's
+    capabilities. *)
+
+val route_grid :
+  ?ws:Router_workspace.t ->
+  ?config:Router_config.t ->
+  t -> Qr_graph.Grid.t -> Qr_perm.Perm.t -> Schedule.t
+(** {!route} on a {!Grid_input}. *)
+
+val route_many : ?config:Router_config.t -> t -> input list -> Schedule.t list
+(** Route a batch through one shared {!Router_workspace}, amortizing the
+    planning allocations.  Schedules are bit-identical to routing each
+    input with a separate {!route} call. *)

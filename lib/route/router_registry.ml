@@ -1,0 +1,189 @@
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+
+let table : (string, Router_intf.t) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let register (engine : Router_intf.t) =
+  let name = engine.Router_intf.name in
+  if name = "" then invalid_arg "Router_registry.register: empty name";
+  if Hashtbl.mem table name then
+    invalid_arg
+      (Printf.sprintf "Router_registry.register: duplicate engine %S" name);
+  Hashtbl.replace table name engine;
+  order := name :: !order
+
+let find name = Hashtbl.find_opt table name
+
+let names () = List.rev !order
+
+let all () = List.filter_map find (names ())
+
+let get name =
+  match find name with
+  | Some engine -> engine
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Router_registry.get: unknown engine %S (registered: %s)"
+           name
+           (String.concat ", " (names ())))
+
+(* {2 Explicit generic-graph fallback} *)
+
+let c_fallbacks = Metrics.counter "router_fallbacks"
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let note_fallback ~from ~to_ =
+  Metrics.incr c_fallbacks;
+  if not (Hashtbl.mem warned from) then begin
+    Hashtbl.replace warned from ();
+    Printf.eprintf
+      "qroute: warning: engine %S is grid-only; using %S for generic graphs\n%!"
+      from to_
+  end
+
+let generic_fallback = "ats"
+
+let route_generic ?ws ?config engine graph dist pi =
+  let engine =
+    if engine.Router_intf.capabilities.grid_only then begin
+      note_fallback ~from:engine.Router_intf.name ~to_:generic_fallback;
+      get generic_fallback
+    end
+    else engine
+  in
+  Router_intf.route ?ws ?config engine
+    (Router_intf.Graph_input (graph, dist, pi))
+
+(* {2 The grid engines} *)
+
+let grid_caps ~transpose =
+  {
+    Router_intf.grid_only = true;
+    supports_transpose = transpose;
+    supports_partial = true;
+  }
+
+let local =
+  {
+    Router_intf.name = "local";
+    capabilities = grid_caps ~transpose:true;
+    plan =
+      (fun ws config input ->
+        let grid, pi = Router_intf.require_grid ~engine:"local" input in
+        let discovery = config.Router_config.discovery in
+        let assignment = config.Router_config.assignment in
+        if config.Router_config.transpose then
+          Router_intf.Ready
+            (Local_grid_route.route_best_orientation ?ws ~discovery
+               ~assignment grid pi)
+        else
+          Router_intf.Sigmas
+            {
+              grid;
+              pi;
+              sigmas = Local_grid_route.sigmas ?ws ~discovery ~assignment grid pi;
+            });
+    execute = Router_intf.execute_plan;
+  }
+
+let local1 =
+  {
+    Router_intf.name = "local1";
+    capabilities = grid_caps ~transpose:false;
+    plan =
+      (fun ws config input ->
+        let grid, pi = Router_intf.require_grid ~engine:"local1" input in
+        let discovery = config.Router_config.discovery in
+        let assignment = config.Router_config.assignment in
+        Router_intf.Sigmas
+          {
+            grid;
+            pi;
+            sigmas = Local_grid_route.sigmas ?ws ~discovery ~assignment grid pi;
+          });
+    execute = Router_intf.execute_plan;
+  }
+
+let naive =
+  {
+    Router_intf.name = "naive";
+    capabilities = grid_caps ~transpose:false;
+    plan =
+      (fun ws _config input ->
+        let grid, pi = Router_intf.require_grid ~engine:"naive" input in
+        Router_intf.Sigmas
+          { grid; pi; sigmas = Grid_route.naive_sigmas ?ws grid pi });
+    execute = Router_intf.execute_plan;
+  }
+
+let snake =
+  {
+    Router_intf.name = "snake";
+    capabilities = grid_caps ~transpose:false;
+    plan =
+      (fun _ws _config input ->
+        let grid, pi = Router_intf.require_grid ~engine:"snake" input in
+        Router_intf.Ready (Line_route.route grid pi));
+    execute = Router_intf.execute_plan;
+  }
+
+let default_contenders = [ "local"; "naive" ]
+
+(* Race the configured contenders through the uncounted [run_plan] path and
+   keep the shallowest schedule; ties go to the earlier contender, which
+   with the default (local before naive) reproduces the paper's
+   "no-overhead" combination exactly. *)
+let best =
+  {
+    Router_intf.name = "best";
+    capabilities =
+      {
+        Router_intf.grid_only = false;
+        supports_transpose = true;
+        supports_partial = true;
+      };
+    plan =
+      (fun ws config input ->
+        let wanted =
+          match config.Router_config.best_of with
+          | Some contenders -> contenders
+          | None -> default_contenders
+        in
+        let wanted = List.filter (fun n -> n <> "best") wanted in
+        let contenders = List.map get wanted in
+        let usable =
+          match input with
+          | Router_intf.Grid_input _ -> contenders
+          | Router_intf.Graph_input _ ->
+              List.filter
+                (fun e -> not e.Router_intf.capabilities.grid_only)
+                contenders
+        in
+        match usable with
+        | [] -> (
+            match input with
+            | Router_intf.Graph_input _ ->
+                note_fallback ~from:"best" ~to_:generic_fallback;
+                Router_intf.Ready
+                  (Router_intf.run_plan ?ws (get generic_fallback) config
+                     input)
+            | Router_intf.Grid_input _ ->
+                invalid_arg "Router_registry: best has no contenders")
+        | first :: rest ->
+            let run e = (e, Router_intf.run_plan ?ws e config input) in
+            let winner, sched =
+              List.fold_left
+                (fun (we, ws_sched) e ->
+                  let e, s = run e in
+                  if Schedule.depth s < Schedule.depth ws_sched then (e, s)
+                  else (we, ws_sched))
+                (run first) rest
+            in
+            Trace.add_attr "winner"
+              (Trace.String winner.Router_intf.name);
+            Router_intf.Ready sched);
+    execute = Router_intf.execute_plan;
+  }
+
+let () = List.iter register [ local; local1; naive; snake; best ]

@@ -1,0 +1,45 @@
+(** Central engine registry.
+
+    Engines ({!Router_intf.t}) self-register at module-initialization time
+    under their stable name; the CLI, benchmarks and examples enumerate the
+    registry instead of maintaining hand-written strategy lists.  The grid
+    engines ([local], [local1], [naive], [snake], [best]) register here;
+    the token-swapping engines ([ats], [ats-serial]) live in [qr_token] and
+    are registered by the [qroute] umbrella's initialization (or an
+    explicit [Qr_token.Engines.register ()]). *)
+
+val register : Router_intf.t -> unit
+(** Add an engine.  Registration order is preserved by {!names}/{!all}.
+    @raise Invalid_argument on a duplicate or empty name. *)
+
+val find : string -> Router_intf.t option
+
+val get : string -> Router_intf.t
+(** @raise Invalid_argument for unknown names; the message lists the
+    registered engines. *)
+
+val names : unit -> string list
+(** Registered names, in registration order. *)
+
+val all : unit -> Router_intf.t list
+
+val route_generic :
+  ?ws:Router_workspace.t ->
+  ?config:Router_config.t ->
+  Router_intf.t ->
+  Qr_graph.Graph.t -> Qr_graph.Distance.t -> Qr_perm.Perm.t -> Schedule.t
+(** Route on an arbitrary connected coupling graph.  Grid-only engines
+    fall back to the generic ["ats"] engine {e explicitly}: the
+    [router_fallbacks] counter is bumped and a warning is printed to
+    stderr once per engine name.  @raise Invalid_argument if the fallback
+    engine is not registered (link the [qroute] umbrella or call
+    [Qr_token.Engines.register ()]). *)
+
+val note_fallback : from:string -> to_:string -> unit
+(** Record a capability fallback: bump [router_fallbacks] and warn on
+    stderr once per [from] name.  Exposed for engines that implement their
+    own fallback paths. *)
+
+(**/**)
+
+val default_contenders : string list

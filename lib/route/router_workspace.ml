@@ -1,0 +1,14 @@
+module Hopcroft_karp = Qr_bipartite.Hopcroft_karp
+
+type t = {
+  mutable cg : Column_graph.t option;
+  hk : Hopcroft_karp.workspace;
+}
+
+let create () = { cg = None; hk = Hopcroft_karp.workspace () }
+
+let remember_cg t cg = t.cg <- Some cg
+
+let reusable_cg = function None -> None | Some t -> t.cg
+
+let hk = function None -> None | Some t -> Some t.hk

@@ -1,0 +1,55 @@
+module Grid = Qr_graph.Grid
+module Distance = Qr_graph.Distance
+module Router_intf = Qr_route.Router_intf
+module Router_config = Qr_route.Router_config
+module Router_registry = Qr_route.Router_registry
+
+let graph_of_input = function
+  | Router_intf.Grid_input (grid, pi) ->
+      (Grid.graph grid, Distance.of_grid grid, pi)
+  | Router_intf.Graph_input (graph, dist, pi) -> (graph, dist, pi)
+
+let generic_caps =
+  {
+    Router_intf.grid_only = false;
+    supports_transpose = false;
+    supports_partial = true;
+  }
+
+let ats =
+  {
+    Router_intf.name = "ats";
+    capabilities = generic_caps;
+    plan =
+      (fun _ws config input ->
+        let graph, dist, pi = graph_of_input input in
+        Router_intf.Ready
+          (Parallel_ats.route ~trials:config.Router_config.ats_trials
+             ~seed:config.Router_config.seed graph dist pi));
+    execute = Router_intf.execute_plan;
+  }
+
+(* [trials] deliberately stays at [Token_swap.schedule]'s own default: the
+   [trials] knob parameterizes the parallel engine's restart race, while
+   the serial ablation is the single deterministic run the paper
+   compares against. *)
+let ats_serial =
+  {
+    Router_intf.name = "ats-serial";
+    capabilities = generic_caps;
+    plan =
+      (fun _ws config input ->
+        let graph, dist, pi = graph_of_input input in
+        Router_intf.Ready
+          (Token_swap.schedule ~seed:config.Router_config.seed graph dist pi));
+    execute = Router_intf.execute_plan;
+  }
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Router_registry.register ats;
+    Router_registry.register ats_serial
+  end

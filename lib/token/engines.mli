@@ -1,0 +1,21 @@
+(** Token-swapping engines for the {!Qr_route.Router_registry}.
+
+    [ats] (depth-oriented parallel ATS, {!Parallel_ats.route}) and
+    [ats-serial] ({!Token_swap.schedule}, the serial order re-layered) —
+    the generic-graph engines every coupling graph can use, and the
+    fallback target for grid-only engines.  They read [ats_trials]
+    (parallel only) and [seed] from the configuration. *)
+
+val ats : Qr_route.Router_intf.t
+
+val ats_serial : Qr_route.Router_intf.t
+
+val register : unit -> unit
+(** Register both engines; idempotent.  The [qroute] umbrella calls this at
+    initialization, so programs linking [qroute] need not. *)
+
+val graph_of_input :
+  Qr_route.Router_intf.input ->
+  Qr_graph.Graph.t * Qr_graph.Distance.t * Qr_perm.Perm.t
+(** View any input as a generic graph (grids via {!Qr_graph.Grid.graph} and
+    {!Qr_graph.Distance.of_grid}). *)

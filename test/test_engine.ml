@@ -1,0 +1,472 @@
+(* Tests for the engine layer: registry, unified configuration, the
+   plan/execute pipeline, batched routing, and the golden behavior of the
+   registered engines. *)
+
+open Qroute
+
+(* Module aliases alone do not force the umbrella's initializer; complete
+   the registry explicitly (idempotent). *)
+let () = Token_engines.register ()
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* Every test leaves the global sinks disabled so suites can run in any
+   order. *)
+let with_clean_sinks f =
+  let finally () =
+    ignore (Trace.stop ());
+    Metrics.disable ();
+    Metrics.reset ()
+  in
+  Fun.protect ~finally f
+
+(* ------------------------------------------------------------- registry *)
+
+let test_registry_names () =
+  let names = Router_registry.names () in
+  checki "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* Every Strategy name resolves to an engine of the same name. *)
+  List.iter
+    (fun strategy ->
+      let name = Strategy.name strategy in
+      match Router_registry.find name with
+      | Some engine -> checks name name engine.Router_intf.name
+      | None -> Alcotest.failf "strategy %s has no registered engine" name)
+    Strategy.all;
+  (* all () follows registration order and agrees with names (). *)
+  checkb "all agrees with names" true
+    (List.map (fun e -> e.Router_intf.name) (Router_registry.all ()) = names)
+
+let test_registry_get_unknown () =
+  match Router_registry.get "no-such-engine" with
+  | exception Invalid_argument msg ->
+      checkb "message lists registry" true
+        (String.length msg > 0
+        && List.for_all
+             (fun n ->
+               (* A substring check without Str: the error must mention
+                  every registered name. *)
+               let re = n in
+               let found = ref false in
+               let nl = String.length re and ml = String.length msg in
+               for i = 0 to ml - nl do
+                 if String.sub msg i nl = re then found := true
+               done;
+               !found)
+             (Router_registry.names ()))
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_registry_duplicate_rejected () =
+  let local = Router_registry.get "local" in
+  match Router_registry.register local with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration must raise"
+
+(* --------------------------------------------------------------- config *)
+
+let config_gen =
+  let open QCheck.Gen in
+  let discovery =
+    oneof
+      [
+        return Local_grid_route.Doubling;
+        return Local_grid_route.Whole;
+        map (fun h -> Local_grid_route.Fixed_band h) (int_range 1 6);
+      ]
+  in
+  let best_of =
+    oneof
+      [
+        return None;
+        map (fun k -> Some (List.filteri (fun i _ -> i <= k)
+                              [ "local"; "naive"; "snake" ]))
+          (int_range 0 2);
+      ]
+  in
+  let* discovery = discovery in
+  let* assignment =
+    oneofl [ Local_grid_route.Mcbbm; Local_grid_route.Arbitrary ]
+  in
+  let* transpose = bool in
+  let* compaction = bool in
+  let* ats_trials = int_range 1 9 in
+  let* seed = int_range (-3) 999 in
+  let* best_of = best_of in
+  return
+    {
+      Router_config.discovery;
+      assignment;
+      transpose;
+      compaction;
+      ats_trials;
+      seed;
+      best_of;
+    }
+
+let config_arbitrary =
+  QCheck.make ~print:Router_config.to_string config_gen
+
+let config_roundtrip =
+  QCheck.Test.make ~name:"Router_config round-trips through its text form"
+    ~count:200 config_arbitrary (fun config ->
+      match Router_config.of_string (Router_config.to_string config) with
+      | Ok parsed -> Router_config.equal config parsed
+      | Error msg -> QCheck.Test.fail_reportf "no parse: %s" msg)
+
+let test_config_defaults_and_partial () =
+  checkb "empty string is default" true
+    (Router_config.of_string "" = Ok Router_config.default);
+  checkb "partial override" true
+    (Router_config.of_string "transpose=off"
+    = Ok { Router_config.default with transpose = false });
+  checkb "fixed_band alias accepted" true
+    (Router_config.of_string "discovery=fixed_band:3"
+    = Ok
+        {
+          Router_config.default with
+          discovery = Local_grid_route.Fixed_band 3;
+        });
+  checks "canonical default"
+    "discovery=doubling,assignment=mcbbm,transpose=on,compaction=off,trials=4,seed=0"
+    (Router_config.to_string Router_config.default)
+
+let test_config_parse_errors () =
+  let rejects s =
+    match Router_config.of_string s with Error _ -> true | Ok _ -> false
+  in
+  checkb "unknown key" true (rejects "bogus=1");
+  checkb "missing =" true (rejects "transpose");
+  checkb "trials=0" true (rejects "trials=0");
+  checkb "band 0" true (rejects "discovery=fixed:0");
+  checkb "bad discovery" true (rejects "discovery=quantum");
+  checkb "empty best" true (rejects "best=");
+  checkb "bad seed" true (rejects "seed=x")
+
+(* --------------------------------------------------- plan/execute + caps *)
+
+let test_every_engine_routes () =
+  List.iter
+    (fun (m, n) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let pi = Perm.check (Rng.permutation (Rng.create 7) (m * n)) in
+      List.iter
+        (fun engine ->
+          let sched = Router_intf.route_grid engine grid pi in
+          checkb
+            (Printf.sprintf "%s %dx%d valid" engine.Router_intf.name m n)
+            true
+            (Schedule.is_valid (Grid.graph grid) sched);
+          checkb
+            (Printf.sprintf "%s %dx%d realizes" engine.Router_intf.name m n)
+            true
+            (Schedule.realizes ~n:(m * n) sched pi))
+        (Router_registry.all ()))
+    [ (1, 6); (4, 4); (3, 5) ]
+
+let test_grid_only_rejects_graph_input () =
+  let g = Graph.path 6 in
+  let oracle = Distance.of_graph g in
+  let pi = Perm.check [| 5; 4; 3; 2; 1; 0 |] in
+  List.iter
+    (fun engine ->
+      if engine.Router_intf.capabilities.Router_intf.grid_only then
+        match
+          Router_intf.route engine (Router_intf.Graph_input (g, oracle, pi))
+        with
+        | exception Router_intf.Unsupported_input _ -> ()
+        | _ ->
+            Alcotest.failf "%s must reject Graph_input"
+              engine.Router_intf.name)
+    (Router_registry.all ())
+
+let test_generic_fallback_counted () =
+  with_clean_sinks @@ fun () ->
+  Metrics.reset ();
+  Metrics.enable ();
+  let g = Graph.path 6 in
+  let oracle = Distance.of_graph g in
+  let pi = Perm.check [| 5; 4; 3; 2; 1; 0 |] in
+  let sched =
+    Router_registry.route_generic (Router_registry.get "local") g oracle pi
+  in
+  checkb "fallback schedule realizes" true
+    (Schedule.realizes ~n:6 sched pi);
+  (match Metrics.find_counter "router_fallbacks" with
+  | Some c -> checki "one fallback" 1 (Metrics.value c)
+  | None -> Alcotest.fail "router_fallbacks counter not registered");
+  (* Generic-capable engines take no fallback. *)
+  let sched2 =
+    Router_registry.route_generic (Router_registry.get "ats") g oracle pi
+  in
+  checkb "ats native" true (Schedule.realizes ~n:6 sched2 pi);
+  match Metrics.find_counter "router_fallbacks" with
+  | Some c -> checki "still one fallback" 1 (Metrics.value c)
+  | None -> Alcotest.fail "router_fallbacks counter not registered"
+
+let test_best_of_contenders_and_winner_attr () =
+  with_clean_sinks @@ fun () ->
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let pi = Generators.generate grid Generators.Random (Rng.create 11) in
+  let best = Router_registry.get "best" in
+  let config =
+    { Router_config.default with best_of = Some [ "snake" ] }
+  in
+  Trace.start ();
+  let sched = Router_intf.route_grid ~config best grid pi in
+  let spans = Trace.stop () in
+  let snake =
+    Router_intf.route_grid (Router_registry.get "snake") grid pi
+  in
+  checki "best-of-snake equals snake" (Schedule.depth snake)
+    (Schedule.depth sched);
+  let route_span =
+    List.find (fun s -> s.Trace.name = "route") spans
+  in
+  (match List.assoc_opt "winner" route_span.Trace.attrs with
+  | Some (Trace.String w) -> checks "winner recorded" "snake" w
+  | _ -> Alcotest.fail "no winner attribute on the route span");
+  match List.assoc_opt "strategy" route_span.Trace.attrs with
+  | Some (Trace.String s) -> checks "strategy attr" "best" s
+  | _ -> Alcotest.fail "no strategy attribute on the route span"
+
+let test_best_unknown_contender_rejected () =
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let pi = Perm.identity 9 in
+  let config =
+    { Router_config.default with best_of = Some [ "no-such" ] }
+  in
+  match Router_intf.route_grid ~config (Router_registry.get "best") grid pi with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown contender must raise"
+
+let test_transpose_off_equals_local1 () =
+  let grid = Grid.make ~rows:5 ~cols:8 in
+  let pi = Generators.generate grid Generators.Random (Rng.create 4) in
+  let off = { Router_config.default with transpose = false } in
+  let a =
+    Router_intf.route_grid ~config:off (Router_registry.get "local") grid pi
+  in
+  let b = Router_intf.route_grid (Router_registry.get "local1") grid pi in
+  checkb "identical schedules" true (a = b)
+
+let test_compaction_never_deeper () =
+  let grid = Grid.make ~rows:6 ~cols:6 in
+  let on = { Router_config.default with compaction = true } in
+  List.iter
+    (fun seed ->
+      let pi = Generators.generate grid Generators.Random (Rng.create seed) in
+      List.iter
+        (fun engine ->
+          let plain = Router_intf.route_grid engine grid pi in
+          let compacted = Router_intf.route_grid ~config:on engine grid pi in
+          checkb
+            (Printf.sprintf "%s seed %d" engine.Router_intf.name seed)
+            true
+            (Schedule.depth compacted <= Schedule.depth plain
+            && Schedule.realizes ~n:36 compacted pi))
+        [ Router_registry.get "local"; Router_registry.get "naive" ])
+    [ 0; 1; 2 ]
+
+(* --------------------------------------------------------------- batching *)
+
+let route_many_matches_sequential =
+  QCheck.Test.make
+    ~name:"route_many equals per-call route (shared workspace is invisible)"
+    ~count:30
+    QCheck.(
+      triple (int_range 2 6) (int_range 2 6) (int_range 0 1000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let rng = Rng.create seed in
+      let pis =
+        List.init 5 (fun _ -> Perm.check (Rng.permutation rng (m * n)))
+      in
+      List.for_all
+        (fun engine ->
+          let batched =
+            Router_intf.route_many engine
+              (List.map (fun pi -> Router_intf.Grid_input (grid, pi)) pis)
+          in
+          let sequential =
+            List.map (fun pi -> Router_intf.route_grid engine grid pi) pis
+          in
+          batched = sequential)
+        [
+          Router_registry.get "local";
+          Router_registry.get "local1";
+          Router_registry.get "naive";
+          Router_registry.get "best";
+        ])
+
+let test_route_many_mixed_sizes () =
+  (* One batch spanning different grid shapes: the workspace must regrow
+     and shrink between calls without contaminating results. *)
+  let engine = Router_registry.get "local" in
+  let inputs =
+    List.map
+      (fun (m, n, seed) ->
+        let grid = Grid.make ~rows:m ~cols:n in
+        let pi = Perm.check (Rng.permutation (Rng.create seed) (m * n)) in
+        Router_intf.Grid_input (grid, pi))
+      [ (5, 7, 0); (2, 2, 1); (7, 5, 2); (1, 9, 3); (6, 6, 4) ]
+  in
+  let batched = Router_intf.route_many engine inputs in
+  let sequential =
+    List.map (fun input -> Router_intf.route engine input) inputs
+  in
+  checkb "mixed-size batch matches" true (batched = sequential)
+
+let test_route_many_counts_per_call () =
+  with_clean_sinks @@ fun () ->
+  Metrics.reset ();
+  Metrics.enable ();
+  let grid = Grid.make ~rows:4 ~cols:4 in
+  let pis =
+    List.init 3 (fun k -> Perm.check (Rng.permutation (Rng.create k) 16))
+  in
+  let scheds = route_many grid pis in
+  (match Metrics.find_counter "route_calls" with
+  | Some c -> checki "route_calls = batch size" 3 (Metrics.value c)
+  | None -> Alcotest.fail "route_calls not registered");
+  match Metrics.find_counter "swap_layers" with
+  | Some c ->
+      checki "swap_layers sums depths"
+        (List.fold_left (fun acc s -> acc + Schedule.depth s) 0 scheds)
+        (Metrics.value c)
+  | None -> Alcotest.fail "swap_layers not registered"
+
+(* ----------------------------------------------------------------- golden *)
+
+(* Depth/swap pairs captured from the pre-refactor Strategy dispatcher
+   (workload: Generators.Random, default configuration).  The engine
+   refactor must not change any default-config schedule. *)
+let golden =
+  [
+    ("local", 8, 8, [| (19, 299); (19, 260); (20, 265) |]);
+    ("local", 5, 9, [| (18, 161); (18, 171); (19, 157) |]);
+    ("local1", 8, 8, [| (21, 299); (19, 260); (20, 265) |]);
+    ("local1", 5, 9, [| (18, 161); (18, 171); (19, 157) |]);
+    ("naive", 8, 8, [| (22, 289); (20, 246); (23, 261) |]);
+    ("naive", 5, 9, [| (18, 161); (16, 159); (17, 153) |]);
+    ("snake", 8, 8, [| (52, 1029); (56, 918); (55, 973) |]);
+    ("snake", 5, 9, [| (34, 489); (43, 541); (38, 555) |]);
+    ("best", 8, 8, [| (19, 299); (19, 260); (20, 265) |]);
+    ("best", 5, 9, [| (18, 161); (16, 159); (17, 153) |]);
+    ("ats", 8, 8, [| (87, 245); (75, 270); (60, 265) |]);
+    ("ats", 5, 9, [| (41, 155); (55, 173); (46, 143) |]);
+    ("ats-serial", 8, 8, [| (103, 263); (77, 254); (67, 249) |]);
+    ("ats-serial", 5, 9, [| (45, 157); (49, 159); (47, 155) |]);
+  ]
+
+let test_golden_depths () =
+  List.iter
+    (fun (name, rows, cols, expected) ->
+      let grid = Grid.make ~rows ~cols in
+      let engine = Router_registry.get name in
+      Array.iteri
+        (fun seed (depth, swaps) ->
+          let pi =
+            Generators.generate grid Generators.Random (Rng.create seed)
+          in
+          let sched = Router_intf.route_grid engine grid pi in
+          checki
+            (Printf.sprintf "%s %dx%d seed %d depth" name rows cols seed)
+            depth (Schedule.depth sched);
+          checki
+            (Printf.sprintf "%s %dx%d seed %d swaps" name rows cols seed)
+            swaps (Schedule.size sched))
+        expected)
+    golden
+
+(* ------------------------------------------------------- transpile/sabre *)
+
+let test_transpile_with_engine () =
+  let grid = Grid.make ~rows:3 ~cols:3 in
+  let c = Library.qft 9 in
+  List.iter
+    (fun name ->
+      let engine = Router_registry.get name in
+      let r = Transpile.run_grid ~engine grid c in
+      checkb (name ^ " feasible") true
+        (Transpile.verify_feasible (Grid.graph grid) r))
+    [ "local"; "naive"; "ats" ]
+
+let test_sabre_unwind () =
+  let grid = Grid.make ~rows:3 ~cols:4 in
+  let c =
+    Library.random_two_qubit (Rng.create 9) ~num_qubits:12 ~gates:30
+  in
+  let plain = Sabre_lite.run_grid grid c in
+  let unwound =
+    Sabre_lite.run_grid ~unwind:(Router_registry.get "local") grid c
+  in
+  checkb "unwound feasible" true
+    (Transpile.verify_feasible (Grid.graph grid) unwound);
+  checkb "final equals initial" true
+    (Layout.equal unwound.Transpile.final unwound.Transpile.initial);
+  checkb "only swaps appended" true
+    (Circuit.size unwound.Transpile.physical
+     - Circuit.swap_count unwound.Transpile.physical
+    = Circuit.size plain.Transpile.physical
+      - Circuit.swap_count plain.Transpile.physical);
+  checkb "unwind layers accounted" true
+    (unwound.Transpile.swap_layers >= plain.Transpile.swap_layers)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names unique, strategies covered" `Quick
+            test_registry_names;
+          Alcotest.test_case "unknown name lists registry" `Quick
+            test_registry_get_unknown;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_registry_duplicate_rejected;
+        ] );
+      ( "config",
+        [
+          qc config_roundtrip;
+          Alcotest.test_case "defaults and partial parse" `Quick
+            test_config_defaults_and_partial;
+          Alcotest.test_case "parse errors" `Quick test_config_parse_errors;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "every engine routes" `Quick
+            test_every_engine_routes;
+          Alcotest.test_case "grid-only rejects graph input" `Quick
+            test_grid_only_rejects_graph_input;
+          Alcotest.test_case "generic fallback is explicit" `Quick
+            test_generic_fallback_counted;
+          Alcotest.test_case "best honors contenders, records winner" `Quick
+            test_best_of_contenders_and_winner_attr;
+          Alcotest.test_case "best rejects unknown contenders" `Quick
+            test_best_unknown_contender_rejected;
+          Alcotest.test_case "transpose=off equals local1" `Quick
+            test_transpose_off_equals_local1;
+          Alcotest.test_case "compaction never deeper" `Quick
+            test_compaction_never_deeper;
+        ] );
+      ( "batching",
+        [
+          qc route_many_matches_sequential;
+          Alcotest.test_case "mixed-size batch" `Quick
+            test_route_many_mixed_sizes;
+          Alcotest.test_case "counters per call" `Quick
+            test_route_many_counts_per_call;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "default-config schedules" `Quick
+            test_golden_depths ] );
+      ( "transpile",
+        [
+          Alcotest.test_case "engine-driven transpile" `Quick
+            test_transpile_with_engine;
+          Alcotest.test_case "sabre unwind" `Quick test_sabre_unwind;
+        ] );
+    ]

@@ -14,7 +14,7 @@ module Rng = Qr_util.Rng
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-let local_router grid rho = Qr_route.Local_grid_route.route_best_orientation grid rho
+let local_engine () = Qroute.Router_registry.get "local"
 
 let test_feasible_circuit_untouched () =
   let grid = Grid.make ~rows:2 ~cols:3 in
@@ -164,7 +164,7 @@ let transpile_property =
       let rng = Rng.create seed in
       let c = Library.random_two_qubit rng ~num_qubits:(m * n) ~gates:20 in
       let r =
-        Transpile.run_grid ~router:local_router grid c
+        Transpile.run_grid ~engine:(local_engine ()) grid c
       in
       Circuit.is_feasible (Grid.graph grid) r.physical
       && Circuit.size r.physical - Circuit.swap_count r.physical
