@@ -7,6 +7,8 @@
      gen        emit a stock circuit in the QASM-subset format
      stats      describe a workload permutation
      engines    list the registered routing engines
+     serve      long-lived routing service (NDJSON over stdio or a socket)
+     request    one-shot client for a running serve --socket instance
 
    Engines come from the central registry — anything registered (including
    by a third-party library linked into a custom build) is addressable by
@@ -362,8 +364,18 @@ let engines_cmd =
       & info [ "names" ]
           ~doc:"Print bare engine names, one per line (for scripting).")
   in
-  let run names_only =
-    if names_only then
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the registry as JSON (name and capabilities) — the same \
+             document the service's $(b,engines) method returns.")
+  in
+  let run names_only json =
+    if json then
+      print_endline (Obs_json.to_string (Server_protocol.engines_json ()))
+    else if names_only then
       List.iter print_endline (Router_registry.names ())
     else begin
       Printf.printf "%-11s %-8s %-10s %-8s\n" "engine" "inputs" "transpose"
@@ -380,7 +392,153 @@ let engines_cmd =
   in
   Cmd.v
     (Cmd.info "engines" ~doc:"List the registered routing engines")
-    Term.(const run $ names_only)
+    Term.(const run $ names_only $ json)
+
+(* ------------------------------------------------------------------ serve *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve a Unix-domain socket at $(docv).")
+
+let serve_cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve newline-delimited JSON on stdin/stdout (one request per \
+             line, one response per line).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int Server_session.default_config.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Plan-cache entries kept (LRU); 0 disables caching.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int Server_session.default_config.max_batch
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Largest accepted route_batch; bigger batches get the \
+             $(b,overloaded) error.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int Server_session.default_config.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Pipelined requests queued per poll cycle before shedding with \
+             $(b,overloaded) (socket mode).")
+  in
+  let run stdio socket cache_capacity max_batch max_inflight =
+    let config =
+      { Server_session.cache_capacity; max_batch; max_inflight }
+    in
+    match (stdio, socket) with
+    | true, Some _ ->
+        Printf.eprintf "error: --stdio and --socket are mutually exclusive\n";
+        exit 2
+    | true, None -> Server.run_stdio ~config ()
+    | false, Some path -> (
+        try Server.run_socket ~config ~path () with
+        | Failure msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | Unix.Unix_error (err, fn, _) ->
+            Printf.eprintf "error: %s: %s\n" fn (Unix.error_message err);
+            exit 1)
+    | false, None ->
+        Printf.eprintf "error: pass --stdio or --socket PATH\n";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve routing requests over newline-delimited JSON"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-lived routing service: one JSON request per line, one \
+              response per line.  Methods: route, route_batch, transpile, \
+              engines, health, metrics.  Repeated identical route requests \
+              are answered from an LRU plan cache; per-request \
+              $(b,deadline_ms) budgets return $(b,deadline_exceeded) \
+              errors instead of stalling the connection.  SIGINT/SIGTERM \
+              drain gracefully.  See DESIGN.md \xC2\xA710 for the wire \
+              protocol.";
+         ])
+    Term.(
+      const run $ stdio $ socket_arg $ cache_capacity $ max_batch
+      $ max_inflight)
+
+(* ---------------------------------------------------------------- request *)
+
+let request_cmd =
+  let meth =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"METHOD"
+          ~doc:
+            "Method to call: route, route_batch, transpile, engines, \
+             health, metrics.")
+  in
+  let params =
+    Arg.(
+      value & opt string "{}"
+      & info [ "params" ] ~docv:"JSON" ~doc:"Parameters as a JSON object.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request time budget.")
+  in
+  let id =
+    Arg.(
+      value & opt string "cli"
+      & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
+  in
+  let run socket meth params deadline_ms id =
+    let path =
+      match socket with
+      | Some path -> path
+      | None ->
+          Printf.eprintf "error: --socket PATH is required\n";
+          exit 2
+    in
+    let params =
+      match Obs_json.of_string params with
+      | Ok (Obs_json.Obj _ as p) -> p
+      | Ok _ ->
+          Printf.eprintf "error: --params must be a JSON object\n";
+          exit 2
+      | Error msg ->
+          Printf.eprintf "error: bad --params: %s\n" msg;
+          exit 2
+    in
+    let request =
+      Server_protocol.request ~id:(Obs_json.String id) ?deadline_ms ~meth
+        params
+    in
+    match Server_client.rpc ~path request with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok response -> (
+        print_endline (Obs_json.to_string response);
+        match Server_protocol.response_result response with
+        | Ok _ -> ()
+        | Error _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running serve --socket instance")
+    Term.(const run $ socket_arg $ meth $ params $ deadline_ms $ id)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -390,4 +548,4 @@ let () =
           (Cmd.info "qroute" ~version:"1.0.0"
              ~doc:"Locality-aware qubit routing for grid architectures")
           [ route_cmd; sweep_cmd; transpile_cmd; gen_cmd; stats_cmd;
-            engines_cmd ]))
+            engines_cmd; serve_cmd; request_cmd ]))

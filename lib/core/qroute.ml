@@ -49,6 +49,12 @@ module Sabre_lite = Qr_circuit.Sabre_lite
 module Statevector = Qr_sim.Statevector
 module Unitary = Qr_sim.Unitary
 module Permsim = Qr_sim.Permsim
+module Server = Qr_server.Server
+module Server_session = Qr_server.Session
+module Server_protocol = Qr_server.Protocol
+module Server_client = Qr_server.Client
+module Plan_cache = Qr_server.Plan_cache
+module Deadline = Qr_server.Deadline
 
 (* Linking the umbrella completes the registry: the grid engines register
    when [Router_registry]'s own initializer runs, the token-swapping ones

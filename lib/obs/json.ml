@@ -259,6 +259,17 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+let get_string = function String s -> Some s | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_list = function List items -> Some items | _ -> None
+let get_obj = function Obj fields -> Some fields | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
 let rec equal a b =
   match (a, b) with
   | Null, Null -> true

@@ -35,6 +35,19 @@ val of_string_exn : string -> t
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
 
+(** {2 Shape accessors}
+
+    [None] when the value is of a different shape — the building blocks of
+    decoders (the routing service's wire protocol is the main consumer).
+    [get_float] also accepts [Int], matching JSON's single number type. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+val get_bool : t -> bool option
+val get_float : t -> float option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option
+
 val equal : t -> t -> bool
 (** Structural equality; object fields compare order-sensitively and
     floats bitwise (good enough for round-trip tests). *)

@@ -91,5 +91,8 @@ let route_grid ?ws ?config engine grid pi =
   route ?ws ?config engine (Grid_input (grid, pi))
 
 let route_many ?(config = Router_config.default) engine inputs =
-  let ws = Router_workspace.create () in
-  List.map (fun input -> route ~ws ~config engine input) inputs
+  match inputs with
+  | [] -> []
+  | inputs ->
+      let ws = Router_workspace.create () in
+      List.map (fun input -> route ~ws ~config engine input) inputs

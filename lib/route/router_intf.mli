@@ -91,4 +91,5 @@ val route_grid :
 val route_many : ?config:Router_config.t -> t -> input list -> Schedule.t list
 (** Route a batch through one shared {!Router_workspace}, amortizing the
     planning allocations.  Schedules are bit-identical to routing each
-    input with a separate {!route} call. *)
+    input with a separate {!route} call.  An empty batch returns [[]]
+    without allocating a workspace. *)

@@ -141,6 +141,80 @@ let of_string_exn text =
   | Ok t -> t
   | Error msg -> invalid_arg ("Schedule.of_string: " ^ msg)
 
+module Json = Qr_obs.Json
+
+let to_json t =
+  let swap_json (u, v) = Json.List [ Json.Int u; Json.Int v ] in
+  let layer_json layer =
+    Json.List (List.map swap_json (Array.to_list layer))
+  in
+  Json.Obj
+    [
+      ("depth", Json.Int (depth t));
+      ("size", Json.Int (size t));
+      ("layers", Json.List (List.map layer_json t));
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let swap_of_json = function
+    | Json.List [ Json.Int u; Json.Int v ] when u >= 0 && v >= 0 && u <> v ->
+        Ok (u, v)
+    | j -> Error (Printf.sprintf "bad swap %s" (Json.to_string j))
+  in
+  let layer_of_json = function
+    | Json.List swaps ->
+        let* swaps =
+          List.fold_left
+            (fun acc j ->
+              let* acc = acc in
+              let* sw = swap_of_json j in
+              Ok (sw :: acc))
+            (Ok []) swaps
+        in
+        Ok (Array.of_list (List.rev swaps))
+    | j -> Error (Printf.sprintf "bad layer %s" (Json.to_string j))
+  in
+  let* layers =
+    match Json.member "layers" json with
+    | Some (Json.List layers) ->
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            let* layer = layer_of_json j in
+            Ok (layer :: acc))
+          (Ok []) layers
+        |> Result.map List.rev
+    | Some j ->
+        Error (Printf.sprintf "layers: expected a list, got %s"
+                 (Json.to_string j))
+    | None -> Error "missing field layers"
+  in
+  (* depth/size are redundant but, when present, must agree — a cheap
+     integrity check on hand-written or relayed documents. *)
+  let* () =
+    match Json.member "depth" json with
+    | None -> Ok ()
+    | Some (Json.Int d) when d = depth layers -> Ok ()
+    | Some j ->
+        Error (Printf.sprintf "depth %s disagrees with %d layers"
+                 (Json.to_string j) (depth layers))
+  in
+  let* () =
+    match Json.member "size" json with
+    | None -> Ok ()
+    | Some (Json.Int s) when s = size layers -> Ok ()
+    | Some j ->
+        Error (Printf.sprintf "size %s disagrees with %d swaps"
+                 (Json.to_string j) (size layers))
+  in
+  Ok layers
+
+let of_json_exn json =
+  match of_json json with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Schedule.of_json: " ^ msg)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
   List.iteri

@@ -73,3 +73,18 @@ val of_string : string -> (t, string) result
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on malformed input. *)
+
+val to_json : t -> Qr_obs.Json.t
+(** [{"depth": d, "size": s, "layers": [[[u,v], ...], ...]}] — the schedule
+    payload of the routing service's wire protocol, also handy for bench
+    artifacts.  Round-trips exactly through {!of_json}. *)
+
+val of_json : Qr_obs.Json.t -> (t, string) result
+(** Parse {!to_json}'s shape.  Only ["layers"] is required; ["depth"] and
+    ["size"], when present, must agree with the layers.  Swaps must be
+    two-element non-negative integer pairs with distinct endpoints (matching
+    and edge validity are separate checks — {!layer_is_matching},
+    {!is_valid}). *)
+
+val of_json_exn : Qr_obs.Json.t -> t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,47 @@
+module Json = Qr_obs.Json
+
+let call ~path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match
+    Fun.protect ~finally @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let msg = line ^ "\n" in
+    let n = String.length msg in
+    let pos = ref 0 in
+    while !pos < n do
+      pos := !pos + Unix.write_substring fd msg !pos (n - !pos)
+    done;
+    (* Half-close: the server sees EOF after the request but the read
+       side stays open for the response. *)
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec read_line () =
+      if String.contains (Buffer.contents buf) '\n' then ()
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            read_line ()
+    in
+    read_line ();
+    let data = Buffer.contents buf in
+    match String.index_opt data '\n' with
+    | Some i -> Ok (String.sub data 0 i)
+    | None ->
+        if data = "" then Error "connection closed without a response"
+        else Error ("truncated response: " ^ data)
+  with
+  | result -> result
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+let rpc ~path request =
+  match call ~path (Json.to_string (Protocol.request_to_json request)) with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.of_string line with
+      | Ok json -> Ok json
+      | Error msg -> Error ("bad response: " ^ msg))

@@ -1,0 +1,16 @@
+(** One-shot client for the routing service.
+
+    Connects to a {!Server.run_socket} Unix-domain socket, sends a single
+    request line, half-closes, and reads the single response line — the
+    transport behind [qroute request] and a convenient building block for
+    scripts and smoke tests.  Transport failures (no socket, refused
+    connection, truncated response) come back as [Error] strings; protocol
+    errors arrive inside the response envelope
+    ({!Protocol.response_result}). *)
+
+val call : path:string -> string -> (string, string) result
+(** [call ~path line] sends [line] (newline appended) and returns the
+    response line (newline stripped). *)
+
+val rpc : path:string -> Protocol.request -> (Protocol.Json.t, string) result
+(** Render the envelope, {!call}, and parse the response document. *)

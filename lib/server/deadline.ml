@@ -1,0 +1,30 @@
+module Timer = Qr_util.Timer
+
+type t = int64 option  (* absolute monotonic ns; None never expires *)
+
+exception Exceeded
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded -> Some "Deadline.Exceeded"
+    | _ -> None)
+
+let none : t = None
+
+let after_ms ms =
+  let budget_ns = Int64.mul (Int64.of_int (max 0 ms)) 1_000_000L in
+  Some (Int64.add (Timer.now_ns ()) budget_ns)
+
+let of_budget_ms = function None -> none | Some ms -> after_ms ms
+
+let expired = function
+  | None -> false
+  | Some at -> Timer.now_ns () >= at
+
+let check t = if expired t then raise Exceeded
+
+let remaining_ms = function
+  | None -> None
+  | Some at ->
+      let left = Int64.sub at (Timer.now_ns ()) in
+      Some (Int64.to_int (Int64.div (Int64.max 0L left) 1_000_000L))

@@ -1,0 +1,37 @@
+(** Per-request time budgets on the monotonic clock.
+
+    A deadline is an absolute instant on {!Qr_util.Timer}'s monotonic
+    clock (so wall-clock jumps cannot extend or shrink a budget).  The
+    request loop creates one from the envelope's [deadline_ms] and calls
+    {!check} between routing phases — before planning, between batch
+    items, before serialization — turning a blown budget into a
+    [deadline_exceeded] error envelope instead of a connection that hangs
+    until routing finishes.
+
+    A 0 ms budget is already expired when created: the first check fires
+    before any routing work, which is the deterministic behavior the
+    tests (and impatient clients) rely on. *)
+
+type t
+
+exception Exceeded
+(** Raised by {!check}; {!Session} maps it to the [deadline_exceeded]
+    error code. *)
+
+val none : t
+(** Never expires. *)
+
+val after_ms : int -> t
+(** Expires [ms] milliseconds from now; budgets [<= 0] are already
+    expired. *)
+
+val of_budget_ms : int option -> t
+(** [None] is {!none} — the envelope's optional [deadline_ms] field. *)
+
+val expired : t -> bool
+
+val check : t -> unit
+(** @raise Exceeded once the deadline has passed. *)
+
+val remaining_ms : t -> int option
+(** Milliseconds left (clamped at 0); [None] for {!none}. *)

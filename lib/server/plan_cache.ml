@@ -1,0 +1,119 @@
+module Grid = Qr_graph.Grid
+module Metrics = Qr_obs.Metrics
+module Router_config = Qr_route.Router_config
+module Schedule = Qr_route.Schedule
+
+let c_hits = Metrics.counter "plan_cache_hits"
+let c_misses = Metrics.counter "plan_cache_misses"
+let c_evictions = Metrics.counter "plan_cache_evictions"
+
+type key = string
+
+let key ~grid ~pi ~engine ~config =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun d ->
+      Buffer.add_string buf (string_of_int d);
+      Buffer.add_char buf ',')
+    pi;
+  Printf.sprintf "%dx%d|%s|%s|%s" (Grid.rows grid) (Grid.cols grid)
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+    engine
+    (Router_config.to_string config)
+
+(* Doubly-linked recency list threaded through the table's entries: head =
+   most recent, tail = next eviction.  All operations O(1). *)
+type entry = {
+  e_key : key;
+  value : Schedule.t;
+  mutable prev : entry option;  (* towards the head *)
+  mutable next : entry option;  (* towards the tail *)
+}
+
+type t = {
+  capacity : int;
+  table : (key, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity < 0 then invalid_arg "Plan_cache.create: negative capacity";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Metrics.incr c_hits;
+      unlink t e;
+      push_front t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Metrics.incr c_misses;
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table e.e_key;
+      t.evictions <- t.evictions + 1;
+      Metrics.incr c_evictions
+
+let add t k v =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table k with
+    | Some old ->
+        unlink t old;
+        Hashtbl.remove t.table k
+    | None -> ());
+    let e = { e_key = k; value = v; prev = None; next = None } in
+    push_front t e;
+    Hashtbl.replace t.table k e;
+    if Hashtbl.length t.table > t.capacity then evict_lru t
+  end
+
+let find_or_add t k compute =
+  match find t k with
+  | Some v -> (v, true)
+  | None ->
+      let v = compute () in
+      add t k v;
+      (v, false)
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,57 @@
+(** Bounded LRU cache of routing results.
+
+    Routing is deterministic — the schedule for a [(grid, permutation,
+    engine, configuration)] quadruple never changes — so a long-lived
+    service can answer repeated requests without replanning.  Keys
+    canonicalize the quadruple as grid dimensions, an MD5 digest of the
+    permutation's destination array, the engine's registry name and the
+    configuration's canonical text form; cached schedules are returned
+    as-is, so a hit is byte-identical to the original response.
+
+    Hits, misses and evictions are counted both per cache (the accessors
+    below, for [health] reports and tests) and in the global
+    {!Qr_obs.Metrics} registry ([plan_cache_hits], [plan_cache_misses],
+    [plan_cache_evictions]) when collection is enabled.
+
+    Not thread-safe; use one cache per server event loop. *)
+
+type t
+
+type key
+
+val key :
+  grid:Qr_graph.Grid.t ->
+  pi:Qr_perm.Perm.t ->
+  engine:string ->
+  config:Qr_route.Router_config.t ->
+  key
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 128.  A capacity of 0 disables caching (every lookup
+    misses, nothing is stored).  @raise Invalid_argument when negative. *)
+
+val capacity : t -> int
+
+val length : t -> int
+
+val find : t -> key -> Qr_route.Schedule.t option
+(** Lookup; a hit refreshes the entry's recency and bumps the hit
+    counters, a miss bumps the miss counters. *)
+
+val add : t -> key -> Qr_route.Schedule.t -> unit
+(** Insert (or overwrite) an entry, evicting the least recently used entry
+    when past capacity. *)
+
+val find_or_add :
+  t -> key -> (unit -> Qr_route.Schedule.t) -> Qr_route.Schedule.t * bool
+(** [find_or_add t k compute] returns [(schedule, cached)]: the cached
+    schedule with [true], or [compute ()] — inserted — with [false]. *)
+
+val clear : t -> unit
+(** Drop every entry; the hit/miss/eviction counters are kept. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int

@@ -1,0 +1,115 @@
+(** Wire protocol of the routing service.
+
+    The service speaks newline-delimited JSON: one request object per line,
+    one response object per line, in request order.  A request envelope is
+
+    {v
+    {"id": 7, "method": "route", "params": {...}, "deadline_ms": 50}
+    v}
+
+    where [id] is an integer or string echoed back verbatim (missing ids
+    echo as [null]), [method] names the operation, [params] is an optional
+    object and [deadline_ms] an optional per-request time budget on the
+    monotonic clock (see {!Deadline}).  Responses are either
+
+    {v
+    {"id": 7, "result": {...}}
+    {"id": 7, "error": {"code": "deadline_exceeded", "message": "..."}}
+    v}
+
+    Methods: [route], [route_batch], [transpile], [engines], [health],
+    [metrics] — dispatched by {!Session}.  This module owns the envelope
+    and parameter codecs; it performs no routing itself.  See DESIGN.md §10
+    for the full method and error-code tables. *)
+
+module Json = Qr_obs.Json
+
+(** {2 Errors} *)
+
+type error_code =
+  | Parse_error  (** The request line is not a JSON document. *)
+  | Invalid_request  (** JSON, but not a valid request envelope. *)
+  | Unknown_method
+  | Invalid_params
+  | Unsupported_input
+      (** The chosen engine cannot route the given input shape. *)
+  | Deadline_exceeded  (** The request's [deadline_ms] budget ran out. *)
+  | Overloaded
+      (** Backpressure: in-flight queue full, or a batch over [max_batch]. *)
+  | Internal_error
+
+val code_to_string : error_code -> string
+(** The stable snake_case wire name, e.g. ["deadline_exceeded"]. *)
+
+val code_of_string : string -> error_code option
+
+type error = { code : error_code; message : string }
+
+val error : error_code -> string -> error
+
+(** {2 Request envelopes} *)
+
+type request = {
+  id : Json.t;  (** [Int], [String], or [Null]. *)
+  meth : string;
+  params : Json.t;  (** Always an [Obj] ([{}] when omitted). *)
+  deadline_ms : int option;
+}
+
+val request : ?id:Json.t -> ?deadline_ms:int -> meth:string -> Json.t -> request
+(** Build an envelope; [params] must be an object.
+    @raise Invalid_argument otherwise. *)
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, error) result
+(** Validate an envelope: [method] required, [id] an int/string when
+    present, [params] an object when present, [deadline_ms] a non-negative
+    integer when present. *)
+
+val request_id : Json.t -> Json.t
+(** Best-effort id extraction from an arbitrary document — [Null] unless a
+    well-typed [id] field is present.  Lets error responses echo the id
+    even when the envelope is otherwise invalid. *)
+
+(** {2 Response envelopes} *)
+
+val ok_response : id:Json.t -> Json.t -> Json.t
+
+val error_response : id:Json.t -> error -> Json.t
+
+val response_result : Json.t -> (Json.t, error) result
+(** Destructure a response envelope from the client side: [Ok result] or
+    the decoded error.  A malformed envelope decodes as an
+    {!Internal_error}. *)
+
+(** {2 Parameter codecs} *)
+
+val grid_to_json : Qr_graph.Grid.t -> Json.t
+(** [{"rows": m, "cols": n}]. *)
+
+val grid_of_json : Json.t -> (Qr_graph.Grid.t, string) result
+
+val perm_to_json : Qr_perm.Perm.t -> Json.t
+(** The destination array as a JSON list. *)
+
+val perm_of_json : ?expect_size:int -> Json.t -> (Qr_perm.Perm.t, string) result
+(** A list of ints that is a bijection on [0..n-1]; with [expect_size] the
+    length must also match (the grid's vertex count). *)
+
+val config_to_json : Qr_route.Router_config.t -> Json.t
+(** One field per knob: [{"discovery": "doubling", "assignment": "mcbbm",
+    "transpose": true, "compaction": false, "trials": 4, "seed": 0}] plus
+    ["best"] (a name list) when contenders are explicitly set. *)
+
+val config_of_json : Json.t -> (Qr_route.Router_config.t, string) result
+(** Accepts the object form (any subset of keys over the defaults, exactly
+    like the text form) or a [String] holding the canonical text form. *)
+
+val engines_json : unit -> Json.t
+(** [{"engines": [{"name": ..., "inputs": "grid"|"any", "transpose": bool,
+    "partial": bool}, ...]}] over the current registry — the [engines]
+    method's result and the payload of [qroute engines --json]. *)
+
+val methods : string list
+(** The methods {!Session} dispatches, for error messages and docs. *)

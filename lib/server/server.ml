@@ -1,0 +1,165 @@
+module Metrics = Qr_obs.Metrics
+
+let c_connections = Metrics.counter "server_connections"
+let c_shed = Metrics.counter "server_shed_requests"
+
+(* ---------------------------------------------------------- channel loop *)
+
+let serve_channels ?config ?session ic oc =
+  let session =
+    match session with Some s -> s | None -> Session.create ?config ()
+  in
+  try
+    while true do
+      let line = input_line ic in
+      if String.trim line <> "" then begin
+        output_string oc (Session.handle_line session line);
+        output_char oc '\n';
+        flush oc
+      end
+    done
+  with End_of_file -> ()
+
+let run_stdio ?config () =
+  Metrics.enable ();
+  serve_channels ?config stdin stdout
+
+(* ----------------------------------------------------------- socket loop *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* bytes read, possibly ending mid-line *)
+  session : Session.t;
+  mutable eof : bool;
+}
+
+(* Blocking write of a whole response; an EPIPE/ECONNRESET (client went
+   away mid-response) just marks the connection dead. *)
+let send conn line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let pos = ref 0 in
+  try
+    while !pos < n do
+      pos := !pos + Unix.write_substring conn.fd s !pos (n - !pos)
+    done
+  with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> conn.eof <- true
+
+(* Move complete lines out of the connection's buffer; the trailing
+   fragment (no newline yet) stays for the next read. *)
+let take_lines conn =
+  let data = Buffer.contents conn.inbuf in
+  Buffer.clear conn.inbuf;
+  let n = String.length data in
+  let lines = ref [] in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from data !start '\n' in
+       let line = String.sub data !start (i - !start) in
+       start := i + 1;
+       if String.trim line <> "" then lines := line :: !lines
+     done
+   with Not_found -> ());
+  Buffer.add_substring conn.inbuf data !start (n - !start);
+  List.rev !lines
+
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let run_socket ?(config = Session.default_config) ~path () =
+  Metrics.enable ();
+  let stop = ref false in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  (* A client closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  remove_stale_socket path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  let cache = Plan_cache.create ~capacity:config.Session.cache_capacity () in
+  let conns = ref [] in
+  let pending = Queue.create () in
+  let chunk = Bytes.create 65536 in
+  let cleanup () =
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !conns;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    ignore (Sys.signal Sys.sigint prev_int);
+    ignore (Sys.signal Sys.sigterm prev_term);
+    ignore (Sys.signal Sys.sigpipe prev_pipe)
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  while not !stop do
+    let fds = listener :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.memq listener ready then begin
+          (match Unix.accept listener with
+          | fd, _ ->
+              Metrics.incr c_connections;
+              conns :=
+                {
+                  fd;
+                  inbuf = Buffer.create 256;
+                  session = Session.create ~config ~cache ();
+                  eof = false;
+                }
+                :: !conns
+          | exception Unix.Unix_error _ -> ())
+        end;
+        List.iter
+          (fun conn ->
+            if List.memq conn.fd ready then
+              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> conn.eof <- true
+              | k -> Buffer.add_subbytes conn.inbuf chunk 0 k
+              | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+                  conn.eof <- true)
+          !conns;
+        (* Stage complete lines in the bounded in-flight queue; requests
+           pipelined past the bound are shed with [overloaded] right
+           away rather than queued without limit. *)
+        List.iter
+          (fun conn ->
+            List.iter
+              (fun line ->
+                if Queue.length pending >= config.Session.max_inflight then begin
+                  Metrics.incr c_shed;
+                  send conn (Session.overloaded_response_line line)
+                end
+                else Queue.add (conn, line) pending)
+              (take_lines conn))
+          !conns;
+        (* Drain: answer everything queued this cycle, in arrival order.
+           The queue is empty again before the next poll, so a SIGTERM
+           between cycles never abandons accepted work. *)
+        (* A half-closed connection (client shut down its write side and
+           is waiting to read — the one-shot client pattern) has eof set
+           but must still get its responses; [send] absorbs the EPIPE if
+           the client is really gone. *)
+        while not (Queue.is_empty pending) do
+          let conn, line = Queue.pop pending in
+          send conn (Session.handle_line conn.session line)
+        done;
+        conns :=
+          List.filter
+            (fun conn ->
+              if conn.eof then begin
+                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+                false
+              end
+              else true)
+            !conns
+  done

@@ -1,0 +1,39 @@
+(** The routing service's serving loops.
+
+    Two transports share one request pipeline ({!Session.handle_line}):
+
+    - {!run_stdio} serves newline-delimited JSON on stdin/stdout — the
+      mode scripts and CI pipe through, and the transport a transpiler
+      pipeline would spawn as a subprocess;
+    - {!run_socket} serves a Unix-domain socket with a single-threaded
+      [select] event loop: every accepted connection gets its own
+      {!Session} (its own workspace) but all connections share one
+      {!Plan_cache}, so any client can hit plans another client warmed.
+
+    Backpressure: complete request lines are staged in a bounded in-flight
+    queue; once [max_inflight] requests are queued in a poll cycle,
+    further pipelined requests are answered immediately with the
+    [overloaded] error instead of growing the queue without bound.
+
+    Shutdown: SIGINT/SIGTERM flip a flag; the loop stops accepting,
+    answers everything already queued, flushes, closes and removes the
+    socket file before returning (graceful drain).  Both loops enable
+    {!Qr_obs.Metrics} so the [metrics] method and the plan-cache counters
+    are live. *)
+
+val serve_channels :
+  ?config:Session.config -> ?session:Session.t -> in_channel -> out_channel ->
+  unit
+(** Serve one connection's worth of requests: read lines until EOF,
+    answer each on [oc] (flushed per response).  Blank lines are skipped.
+    The loop {!run_stdio} wraps, and the seam tests drive over an
+    in-memory channel pair. *)
+
+val run_stdio : ?config:Session.config -> unit -> unit
+(** {!serve_channels} on stdin/stdout with metrics enabled. *)
+
+val run_socket : ?config:Session.config -> path:string -> unit -> unit
+(** Bind, listen and serve [path] until SIGINT/SIGTERM, then drain.  A
+    stale socket file left by a crashed server is replaced; any other
+    existing file is an error ([Failure]).  The socket file is removed on
+    exit. *)

@@ -1,0 +1,286 @@
+module Json = Qr_obs.Json
+module Trace = Qr_obs.Trace
+module Metrics = Qr_obs.Metrics
+module Timer = Qr_util.Timer
+module Grid = Qr_graph.Grid
+module Perm = Qr_perm.Perm
+module Schedule = Qr_route.Schedule
+module Router_intf = Qr_route.Router_intf
+module Router_config = Qr_route.Router_config
+module Router_registry = Qr_route.Router_registry
+module Router_workspace = Qr_route.Router_workspace
+module Circuit = Qr_circuit.Circuit
+module Qasm = Qr_circuit.Qasm
+module Transpile = Qr_circuit.Transpile
+module P = Protocol
+
+let c_requests = Metrics.counter "server_requests"
+let c_errors = Metrics.counter "server_errors"
+let h_request_ms = Metrics.histogram "server_request_ms"
+
+type config = { cache_capacity : int; max_batch : int; max_inflight : int }
+
+let default_config = { cache_capacity = 128; max_batch = 64; max_inflight = 32 }
+
+type t = {
+  config : config;
+  cache : Plan_cache.t;
+  ws : Router_workspace.t;
+  started_ns : int64;
+  mutable served : int;
+}
+
+let create ?(config = default_config) ?cache () =
+  (* The grid engines register with qr_route itself; completing the
+     registry here means a server embedded without the umbrella still
+     serves ats/ats-serial (idempotent). *)
+  Qr_token.Engines.register ();
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Plan_cache.create ~capacity:config.cache_capacity ()
+  in
+  {
+    config;
+    cache;
+    ws = Router_workspace.create ();
+    started_ns = Timer.now_ns ();
+    served = 0;
+  }
+
+let config t = t.config
+let cache t = t.cache
+let requests_served t = t.served
+
+(* ----------------------------------------------------- param extraction *)
+
+let ( let* ) = Result.bind
+
+let parse_grid params =
+  match Json.member "grid" params with
+  | None -> Error "missing grid"
+  | Some g -> P.grid_of_json g
+
+let parse_engine params =
+  match Json.member "engine" params with
+  | None -> Ok (Router_registry.get "best")
+  | Some (Json.String name) -> (
+      match Router_registry.find name with
+      | Some engine -> Ok engine
+      | None ->
+          Error
+            (Printf.sprintf "unknown engine %S (registered: %s)" name
+               (String.concat ", " (Router_registry.names ()))))
+  | Some _ -> Error "engine: expected a string"
+
+let parse_config params =
+  match Json.member "config" params with
+  | None -> Ok Router_config.default
+  | Some j -> P.config_of_json j
+
+(* -------------------------------------------------------------- methods *)
+
+(* Internal control flow for dispatch outcomes that are not parameter
+   errors; handle_request maps them to their wire error codes. *)
+exception Overloaded_batch of string
+exception Unknown_method of string
+
+(* One routing call behind the cache: a hit returns the stored schedule
+   (byte-identical response), a miss plans through the session's shared
+   workspace and stores the result. *)
+let routed t grid pi engine config =
+  let key =
+    Plan_cache.key ~grid ~pi ~engine:engine.Router_intf.name ~config
+  in
+  Plan_cache.find_or_add t.cache key (fun () ->
+      Router_intf.route ~ws:t.ws ~config engine
+        (Router_intf.Grid_input (grid, pi)))
+
+let do_route t deadline params =
+  let* grid = parse_grid params in
+  let* pi =
+    match Json.member "perm" params with
+    | None -> Error "missing perm"
+    | Some j -> P.perm_of_json ~expect_size:(Grid.size grid) j
+  in
+  let* engine = parse_engine params in
+  let* config = parse_config params in
+  Deadline.check deadline;
+  let sched, cached = routed t grid pi engine config in
+  Deadline.check deadline;
+  Ok
+    (Json.Obj
+       [
+         ("engine", Json.String engine.Router_intf.name);
+         ("cached", Json.Bool cached);
+         ("schedule", Schedule.to_json sched);
+       ])
+
+let do_route_batch t deadline params =
+  let* grid = parse_grid params in
+  let* perm_jsons =
+    match Json.member "perms" params with
+    | Some (Json.List items) -> Ok items
+    | Some _ -> Error "perms: expected a list of permutations"
+    | None -> Error "missing perms"
+  in
+  let* engine = parse_engine params in
+  let* config = parse_config params in
+  let n = Grid.size grid in
+  let* perms =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* pi = P.perm_of_json ~expect_size:n j in
+        Ok (pi :: acc))
+      (Ok []) perm_jsons
+    |> Result.map List.rev
+  in
+  let batch = List.length perms in
+  if batch > t.config.max_batch then
+    raise
+      (Overloaded_batch
+         (Printf.sprintf "batch of %d exceeds max_batch %d" batch
+            t.config.max_batch));
+  let results =
+    List.map
+      (fun pi ->
+        Deadline.check deadline;
+        routed t grid pi engine config)
+      perms
+  in
+  Deadline.check deadline;
+  Ok
+    (Json.Obj
+       [
+         ("engine", Json.String engine.Router_intf.name);
+         ( "schedules",
+           Json.List (List.map (fun (s, _) -> Schedule.to_json s) results) );
+         ("cached", Json.List (List.map (fun (_, c) -> Json.Bool c) results));
+       ])
+
+(* Transpilation manages its own per-run workspace inside
+   [Transpile.run_grid]; the session's is not threaded through. *)
+let do_transpile deadline params =
+  let* grid = parse_grid params in
+  let* logical =
+    match Json.member "circuit" params with
+    | Some (Json.String text) -> Qasm.parse text
+    | Some _ -> Error "circuit: expected the circuit text as a string"
+    | None -> Error "missing circuit"
+  in
+  let* () =
+    let q = Circuit.num_qubits logical and n = Grid.size grid in
+    if q = n then Ok ()
+    else
+      Error
+        (Printf.sprintf "circuit has %d qubits but the grid has %d vertices" q
+           n)
+  in
+  let* engine = parse_engine params in
+  let* config = parse_config params in
+  Deadline.check deadline;
+  let result = Transpile.run_grid ~engine ~config grid logical in
+  Deadline.check deadline;
+  Ok
+    (Json.Obj
+       [
+         ("engine", Json.String engine.Router_intf.name);
+         ("physical", Json.String (Qasm.print result.Transpile.physical));
+         ("physical_depth", Json.Int (Circuit.depth result.Transpile.physical));
+         ("physical_size", Json.Int (Circuit.size result.Transpile.physical));
+         ("swaps", Json.Int (Circuit.swap_count result.Transpile.physical));
+         ("routed_slices", Json.Int result.Transpile.routed_slices);
+         ("swap_layers", Json.Int result.Transpile.swap_layers);
+       ])
+
+let health t =
+  let uptime_ns = Int64.sub (Timer.now_ns ()) t.started_ns in
+  Json.Obj
+    [
+      ("status", Json.String "ok");
+      ("requests", Json.Int t.served);
+      ("uptime_s", Json.Float (Int64.to_float uptime_ns /. 1e9));
+      ("engines", Json.Int (List.length (Router_registry.names ())));
+      ( "plan_cache",
+        Json.Obj
+          [
+            ("size", Json.Int (Plan_cache.length t.cache));
+            ("capacity", Json.Int (Plan_cache.capacity t.cache));
+            ("hits", Json.Int (Plan_cache.hits t.cache));
+            ("misses", Json.Int (Plan_cache.misses t.cache));
+            ("evictions", Json.Int (Plan_cache.evictions t.cache));
+          ] );
+    ]
+
+let dispatch t deadline meth params =
+  match meth with
+  | "route" -> do_route t deadline params
+  | "route_batch" -> do_route_batch t deadline params
+  | "transpile" -> do_transpile deadline params
+  | "engines" -> Ok (P.engines_json ())
+  | "health" -> Ok (health t)
+  | "metrics" -> Ok (Metrics.to_json ())
+  | m ->
+      raise
+        (Unknown_method
+           (Printf.sprintf "unknown method %S (methods: %s)" m
+              (String.concat ", " P.methods)))
+
+(* ------------------------------------------------------------- envelope *)
+
+let handle_request t (req : P.request) =
+  t.served <- t.served + 1;
+  Metrics.incr c_requests;
+  let timer = Timer.start () in
+  let deadline = Deadline.of_budget_ms req.deadline_ms in
+  let result =
+    Trace.with_span "serve_request"
+      ~attrs:[ ("method", Trace.String req.meth) ]
+    @@ fun () ->
+    match dispatch t deadline req.meth req.params with
+    | Ok json -> Ok json
+    | Error msg -> Error (P.error P.Invalid_params msg)
+    | exception Deadline.Exceeded ->
+        Error (P.error P.Deadline_exceeded "request deadline exceeded")
+    | exception Unknown_method msg -> Error (P.error P.Unknown_method msg)
+    | exception Overloaded_batch msg -> Error (P.error P.Overloaded msg)
+    | exception Router_intf.Unsupported_input { engine; reason } ->
+        Error
+          (P.error P.Unsupported_input
+             (Printf.sprintf "engine %s: %s" engine reason))
+    | exception Invalid_argument msg -> Error (P.error P.Internal_error msg)
+    | exception Failure msg -> Error (P.error P.Internal_error msg)
+  in
+  Metrics.observe h_request_ms (Timer.elapsed_s timer *. 1000.);
+  match result with
+  | Ok json -> P.ok_response ~id:req.id json
+  | Error err ->
+      Metrics.incr c_errors;
+      P.error_response ~id:req.id err
+
+let handle_line t line =
+  let response =
+    match Json.of_string line with
+    | Error msg ->
+        Metrics.incr c_errors;
+        P.error_response ~id:Json.Null (P.error P.Parse_error msg)
+    | Ok json -> (
+        match P.request_of_json json with
+        | Error err ->
+            Metrics.incr c_errors;
+            P.error_response ~id:(P.request_id json) err
+        | Ok req -> handle_request t req)
+  in
+  Json.to_string response
+
+let overloaded_response_line line =
+  Metrics.incr c_errors;
+  let id =
+    match Json.of_string line with
+    | Ok json -> P.request_id json
+    | Error _ -> Json.Null
+  in
+  Json.to_string
+    (P.error_response ~id
+       (P.error P.Overloaded "server overloaded: in-flight queue full"))

@@ -1,0 +1,55 @@
+(** Per-connection request processing.
+
+    A session owns everything one connection reuses across requests: a
+    {!Qr_route.Router_workspace.t} (so every request after the first rides
+    the batched [route_many] allocation profile), a {!Plan_cache.t}
+    (optionally shared between connections by the server), and the request
+    counter behind the [health] report.  {!handle_line} is the whole
+    request pipeline — parse, dispatch, route, serialize — and is pure
+    string-to-string, so tests and the [serve_session] example drive it
+    without sockets or channels.
+
+    Every request runs inside a [serve_request] trace span (method name
+    and outcome as attributes) and bumps the [server_requests] /
+    [server_errors] counters and the [server_request_ms] histogram. *)
+
+type config = {
+  cache_capacity : int;  (** {!Plan_cache} bound (default 128). *)
+  max_batch : int;
+      (** Largest accepted [route_batch]; bigger batches get the
+          [overloaded] error (default 64). *)
+  max_inflight : int;
+      (** Pipelined requests the server queues per poll cycle before
+          answering [overloaded] (default 32; enforced by {!Server}). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?cache:Plan_cache.t -> unit -> t
+(** A fresh session with its own workspace.  [cache] shares a cache
+    between sessions (the socket server passes one cache to every
+    connection); by default the session creates its own with
+    [config.cache_capacity].  Creation completes the engine registry
+    (registers the token-swapping engines), so a bare [qr_server] link
+    serves the full engine set. *)
+
+val config : t -> config
+
+val cache : t -> Plan_cache.t
+
+val requests_served : t -> int
+
+val handle_request : t -> Protocol.request -> Protocol.Json.t
+(** Dispatch one parsed request to its method handler; always returns a
+    response envelope (errors are encoded, never raised). *)
+
+val handle_line : t -> string -> string
+(** One request line to one response line (no trailing newline): parse,
+    validate, {!handle_request}, render. *)
+
+val overloaded_response_line : string -> string
+(** The [overloaded] error response for a request line that was shed
+    before parsing — echoes the line's id when one can be recovered.
+    Used by {!Server}'s bounded in-flight queue. *)

@@ -319,6 +319,21 @@ let test_route_many_mixed_sizes () =
   in
   checkb "mixed-size batch matches" true (batched = sequential)
 
+let test_route_many_empty () =
+  (* Regression: an empty batch must return [] immediately — no workspace,
+     no engine calls (observable as route_calls staying at zero). *)
+  with_clean_sinks @@ fun () ->
+  Metrics.reset ();
+  Metrics.enable ();
+  let engine = Router_registry.get "local" in
+  checkb "engine-level empty batch" true
+    (Router_intf.route_many engine [] = []);
+  checkb "umbrella-level empty batch" true
+    (route_many (Grid.make ~rows:3 ~cols:3) [] = []);
+  match Metrics.find_counter "route_calls" with
+  | Some c -> checki "no engine invocations" 0 (Metrics.value c)
+  | None -> ()
+
 let test_route_many_counts_per_call () =
   with_clean_sinks @@ fun () ->
   Metrics.reset ();
@@ -457,6 +472,7 @@ let () =
           qc route_many_matches_sequential;
           Alcotest.test_case "mixed-size batch" `Quick
             test_route_many_mixed_sizes;
+          Alcotest.test_case "empty batch" `Quick test_route_many_empty;
           Alcotest.test_case "counters per call" `Quick
             test_route_many_counts_per_call;
         ] );

@@ -78,6 +78,80 @@ let test_json_parse_errors () =
   checkb "empty input" true (is_error "");
   checkb "trailing newline ok" false (is_error "[1,2]\n")
 
+let test_json_deep_nesting () =
+  (* The recursive-descent parser must take heavily nested documents in
+     stride — 512 levels is far beyond anything the wire protocol emits. *)
+  let depth = 512 in
+  let text =
+    String.concat "" [ String.make depth '['; "7"; String.make depth ']' ]
+  in
+  let rec unwrap d doc =
+    match (d, doc) with
+    | 0, Json.Int 7 -> true
+    | d, Json.List [ inner ] when d > 0 -> unwrap (d - 1) inner
+    | _ -> false
+  in
+  checkb "512-deep array parses" true (unwrap depth (Json.of_string_exn text));
+  checkb "re-prints to the same bytes" true
+    (Json.to_string (Json.of_string_exn text) = text)
+
+let test_json_unicode_escapes () =
+  let parsed text =
+    match Json.of_string text with
+    | Ok (Json.String s) -> s
+    | Ok other -> Alcotest.failf "expected string, got %s" (Json.to_string other)
+    | Error msg -> Alcotest.failf "parse error: %s" msg
+  in
+  checks "ascii" "A" (parsed "\"\\u0041\"");
+  checks "two-byte utf-8" "\xc3\xa9" (parsed "\"\\u00e9\"");
+  checks "three-byte utf-8" "\xe2\x82\xac" (parsed "\"\\u20ac\"");
+  checks "uppercase hex digits" "\xe2\x82\xac" (parsed "\"\\u20AC\"");
+  checks "escapes compose" "A=\xc3\xa9\n" (parsed "\"\\u0041=\\u00e9\\n\"");
+  (* Lone surrogates are not rejected: they pass through as the naive
+     3-byte encoding of the code point (documented parser behavior). *)
+  checks "lone high surrogate" "\xed\xa0\x80" (parsed {|"\ud800"|});
+  checks "lone low surrogate" "\xed\xbf\xbf" (parsed {|"\udfff"|});
+  let is_error s =
+    match Json.of_string s with Error _ -> true | Ok _ -> false
+  in
+  checkb "truncated \\u" true (is_error {|"\u00|});
+  checkb "short \\u" true (is_error {|"\u12"|});
+  checkb "non-hex \\u" true (is_error {|"\uzzzz"|})
+
+let test_json_error_offsets () =
+  (* Error messages carry the byte offset of the failure — the server
+     echoes them back to clients, so they must point at the right spot. *)
+  let error_of text =
+    match Json.of_string text with
+    | Error msg -> msg
+    | Ok doc -> Alcotest.failf "unexpected parse: %s" (Json.to_string doc)
+  in
+  checks "trailing garbage after scalar" "trailing garbage at byte 2"
+    (error_of "1 2");
+  checks "trailing garbage after list" "trailing garbage at byte 5"
+    (error_of "[1,2]x");
+  checks "trailing second document" "trailing garbage at byte 8"
+    (error_of {|{"a":1} {"b":2}|});
+  checkb "offset skips interior whitespace" true
+    (error_of "[1,2]   x" = "trailing garbage at byte 8")
+
+let test_json_nonfinite_roundtrip () =
+  (* Non-finite floats print as null (JSON has no NaN/inf), and the
+     printed document must parse back cleanly. *)
+  let doc =
+    Json.List
+      [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity;
+        Json.Float 1.5 ]
+  in
+  let text = Json.to_string doc in
+  checks "printed as null" "[null,null,null,1.5]" text;
+  checkb "round-trips as nulls" true
+    (Json.of_string_exn text
+    = Json.List [ Json.Null; Json.Null; Json.Null; Json.Float 1.5 ]);
+  (* Stable under a second print/parse cycle. *)
+  checks "second cycle stable" text
+    (Json.to_string (Json.of_string_exn text))
+
 let test_json_member () =
   let doc = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
   checkb "present" true (Json.member "a" doc = Some (Json.Int 1));
@@ -374,6 +448,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "error offsets" `Quick test_json_error_offsets;
+          Alcotest.test_case "nonfinite roundtrip" `Quick
+            test_json_nonfinite_roundtrip;
           Alcotest.test_case "member" `Quick test_json_member;
         ] );
       ( "trace",

@@ -100,6 +100,56 @@ let test_compact_preserves_permutation () =
     checki "same size" (Schedule.size s) (Schedule.size c)
   done
 
+let test_json_shape () =
+  let s = [ [| (0, 1); (2, 3) |]; [| (1, 2) |] ] in
+  Alcotest.check Alcotest.string "wire shape"
+    {|{"depth":2,"size":3,"layers":[[[0,1],[2,3]],[[1,2]]]}|}
+    (Qr_obs.Json.to_string (Schedule.to_json s));
+  Alcotest.check Alcotest.string "empty schedule"
+    {|{"depth":0,"size":0,"layers":[]}|}
+    (Qr_obs.Json.to_string (Schedule.to_json Schedule.empty))
+
+let test_of_json_validates () =
+  let module Json = Qr_obs.Json in
+  let is_error doc = Result.is_error (Schedule.of_json doc) in
+  let parse text = Json.of_string_exn text in
+  checkb "missing layers" true (is_error (Json.Obj []));
+  checkb "layers not a list" true
+    (is_error (parse {|{"layers": 3}|}));
+  checkb "loop swap" true
+    (is_error (parse {|{"layers": [[[1,1]]]}|}));
+  checkb "negative endpoint" true
+    (is_error (parse {|{"layers": [[[-1,0]]]}|}));
+  checkb "three-element swap" true
+    (is_error (parse {|{"layers": [[[0,1,2]]]}|}));
+  checkb "depth disagrees" true
+    (is_error (parse {|{"depth": 5, "layers": [[[0,1]]]}|}));
+  checkb "size disagrees" true
+    (is_error (parse {|{"size": 5, "layers": [[[0,1]]]}|}));
+  (* depth/size optional; an empty layer is a valid (wasteful) layer. *)
+  checkb "layers alone suffice" true
+    (Schedule.of_json (parse {|{"layers": [[], [[0,1]]]}|})
+    = Ok [ [||]; [| (0, 1) |] ])
+
+let json_roundtrip_exact =
+  QCheck.Test.make
+    ~name:"to_json/of_json round-trips exactly (through the printer)"
+    ~count:200
+    QCheck.(small_list (small_list (pair (int_bound 7) (int_bound 7))))
+    (fun raw ->
+      let s =
+        List.map
+          (fun layer ->
+            Array.of_list (List.filter (fun (a, b) -> a <> b) layer))
+          raw
+      in
+      let doc = Schedule.to_json s in
+      (* Structural round-trip, and byte-level through print/parse. *)
+      Schedule.of_json doc = Ok s
+      && Schedule.of_json_exn
+           (Qr_obs.Json.of_string_exn (Qr_obs.Json.to_string doc))
+         = s)
+
 let test_map_vertices () =
   let s = [ [| (0, 1) |] ] in
   let m = Schedule.map_vertices (fun v -> v + 2) s in
@@ -157,6 +207,9 @@ let () =
           Alcotest.test_case "compact preserves" `Quick
             test_compact_preserves_permutation;
           Alcotest.test_case "map_vertices" `Quick test_map_vertices;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "of_json validates" `Quick test_of_json_validates;
+          qc json_roundtrip_exact;
           qc compact_idempotent;
           qc compact_layers_are_matchings;
           qc apply_of_inverse_composes_to_identity;
