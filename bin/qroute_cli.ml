@@ -21,6 +21,15 @@ open Cmdliner
    initializer, so complete the registry explicitly (idempotent). *)
 let () = Token_engines.register ()
 
+(* Chaos plans arm through the environment (QR_FAULTS / QR_FAULTS_SEED),
+   so the CI harness can fault-inject a release binary without flags. *)
+let () =
+  match Fault.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "error: bad %s: %s\n" Fault.env_var msg;
+      exit 2
+
 let engine_conv =
   let parse s =
     match Router_registry.find s with
@@ -434,9 +443,35 @@ let serve_cmd =
             "Pipelined requests queued per poll cycle before shedding with \
              $(b,overloaded) (socket mode).")
   in
-  let run stdio socket cache_capacity max_batch max_inflight =
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-schedules" ]
+          ~doc:
+            "Check every schedule (fresh or cached) against the routing \
+             invariant before responding; a failing engine degrades through \
+             the fallback chain and corrupted cache entries are evicted and \
+             replanned.  Failures surface in the $(b,health) report and the \
+             $(b,router_verify_failures) / $(b,router_degraded) metrics.")
+  in
+  let error_budget =
+    Arg.(
+      value & opt int Server_session.default_config.error_budget
+      & info [ "error-budget" ] ~docv:"N"
+          ~doc:
+            "Consecutive error responses a connection may accumulate before \
+             the socket server closes it; 0 disables shedding.")
+  in
+  let run stdio socket cache_capacity max_batch max_inflight verify
+      error_budget =
     let config =
-      { Server_session.cache_capacity; max_batch; max_inflight }
+      {
+        Server_session.cache_capacity;
+        max_batch;
+        max_inflight;
+        verify;
+        error_budget;
+      }
     in
     match (stdio, socket) with
     | true, Some _ ->
@@ -469,11 +504,12 @@ let serve_cmd =
               $(b,deadline_ms) budgets return $(b,deadline_exceeded) \
               errors instead of stalling the connection.  SIGINT/SIGTERM \
               drain gracefully.  See DESIGN.md \xC2\xA710 for the wire \
-              protocol.";
+              protocol and \xC2\xA711 for the fault model \
+              ($(b,--verify-schedules), $(b,QR_FAULTS)).";
          ])
     Term.(
       const run $ stdio $ socket_arg $ cache_capacity $ max_batch
-      $ max_inflight)
+      $ max_inflight $ verify $ error_budget)
 
 (* ---------------------------------------------------------------- request *)
 
@@ -503,7 +539,17 @@ let request_cmd =
       value & opt string "cli"
       & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
   in
-  let run socket meth params deadline_ms id =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transport failures and $(b,overloaded) responses up to \
+             $(docv) extra times with jittered backoff (typed request \
+             errors are never retried).  Retries bump the \
+             $(b,client_retries) metric.")
+  in
+  let run socket meth params deadline_ms id retries =
     let path =
       match socket with
       | Some path -> path
@@ -525,20 +571,37 @@ let request_cmd =
       Server_protocol.request ~id:(Obs_json.String id) ?deadline_ms ~meth
         params
     in
-    match Server_client.rpc ~path request with
-    | Error msg ->
+    let retry =
+      { Server_client.default_retry with attempts = 1 + max 0 retries }
+    in
+    match Server_client.rpc_retry ~retry ~path request with
+    | Server_client.Transport_failure msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
-    | Ok response -> (
+    | Server_client.Response response ->
+        print_endline (Obs_json.to_string response)
+    | Server_client.Server_error (_, response) ->
         print_endline (Obs_json.to_string response);
-        match Server_protocol.response_result response with
-        | Ok _ -> ()
-        | Error _ -> exit 1)
+        exit 3
   in
   Cmd.v
     (Cmd.info "request"
-       ~doc:"Send one request to a running serve --socket instance")
-    Term.(const run $ socket_arg $ meth $ params $ deadline_ms $ id)
+       ~doc:"Send one request to a running serve --socket instance"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"the server returned a result";
+           Cmd.Exit.info 1
+             ~doc:
+               "transport failure: could not connect, send, or read a \
+                response (after any $(b,--retries))";
+           Cmd.Exit.info 2 ~doc:"bad command line";
+           Cmd.Exit.info 3
+             ~doc:
+               "the server answered with a typed error envelope (printed \
+                on stdout), e.g. $(b,deadline_exceeded) or \
+                $(b,invalid_params)";
+         ])
+    Term.(const run $ socket_arg $ meth $ params $ deadline_ms $ id $ retries)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -12,6 +12,7 @@ module Timer = Qr_util.Timer
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
 module Obs_json = Qr_obs.Json
+module Fault = Qr_fault.Fault
 module Graph = Qr_graph.Graph
 module Grid = Qr_graph.Grid
 module Product = Qr_graph.Product
@@ -63,6 +64,7 @@ module Server_protocol = Qr_server.Protocol
 module Server_client = Qr_server.Client
 module Plan_cache = Qr_server.Plan_cache
 module Deadline = Qr_server.Deadline
+module Io_util = Qr_server.Io_util
 
 (** {2 Routing strategies}
 

@@ -1,0 +1,272 @@
+module Rng = Qr_util.Rng
+module Metrics = Qr_obs.Metrics
+
+let c_injections = Metrics.counter "fault_injections"
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected point -> Some (Printf.sprintf "Fault.Injected(%s)" point)
+    | _ -> None)
+
+type action =
+  | Raise
+  | Raise_errno of Unix.error
+  | Delay_ms of int
+  | Truncate
+  | Corrupt
+
+type spec = {
+  point : string;
+  action : action;
+  prob : float;
+  max_fires : int option;
+}
+
+(* ------------------------------------------------------------- rendering *)
+
+let errno_name = function
+  | Unix.EINTR -> "eintr"
+  | Unix.EPIPE -> "epipe"
+  | Unix.ECONNRESET -> "econnreset"
+  | e -> Unix.error_message e
+
+let action_to_string = function
+  | Raise -> "raise"
+  | Raise_errno e -> Printf.sprintf "raise(%s)" (errno_name e)
+  | Delay_ms ms -> Printf.sprintf "delay(%d)" ms
+  | Truncate -> "truncate"
+  | Corrupt -> "corrupt"
+
+let spec_to_string s =
+  Printf.sprintf "%s=%s%s%s" s.point
+    (action_to_string s.action)
+    (if s.prob = 1.0 then "" else Printf.sprintf "@%g" s.prob)
+    (match s.max_fires with
+    | None -> ""
+    | Some n -> Printf.sprintf "#%d" n)
+
+let to_string specs = String.concat ";" (List.map spec_to_string specs)
+
+(* --------------------------------------------------------------- parsing *)
+
+let parse_action text =
+  match text with
+  | "raise" | "raise(injected)" -> Ok Raise
+  | "raise(eintr)" -> Ok (Raise_errno Unix.EINTR)
+  | "raise(epipe)" -> Ok (Raise_errno Unix.EPIPE)
+  | "raise(econnreset)" -> Ok (Raise_errno Unix.ECONNRESET)
+  | "truncate" -> Ok Truncate
+  | "corrupt" -> Ok Corrupt
+  | _ ->
+      let n = String.length text in
+      if n > 7 && String.sub text 0 6 = "delay(" && text.[n - 1] = ')' then
+        match int_of_string_opt (String.sub text 6 (n - 7)) with
+        | Some ms when ms >= 0 -> Ok (Delay_ms ms)
+        | _ ->
+            Error
+              (Printf.sprintf "bad delay %S: expected delay(<nonnegative ms>)"
+                 text)
+      else
+        Error
+          (Printf.sprintf
+             "unknown action %S (raise, raise(eintr|epipe|econnreset), \
+              delay(<ms>), truncate, corrupt)"
+             text)
+
+(* One spec: point=action with optional @prob / #count suffixes in either
+   order.  Action parameters never contain '@' or '#', so the first of
+   either character ends the action text. *)
+let parse_spec text =
+  let fail msg = Error (Printf.sprintf "spec %S: %s" text msg) in
+  match String.index_opt text '=' with
+  | None -> fail "expected point=action"
+  | Some eq -> (
+      let point = String.trim (String.sub text 0 eq) in
+      let rhs =
+        String.trim (String.sub text (eq + 1) (String.length text - eq - 1))
+      in
+      if point = "" then fail "empty point name"
+      else
+        let idx_at = String.index_opt rhs '@' in
+        let idx_hash = String.index_opt rhs '#' in
+        let action_end =
+          match (idx_at, idx_hash) with
+          | None, None -> String.length rhs
+          | Some i, None | None, Some i -> i
+          | Some i, Some j -> min i j
+        in
+        (* A suffix runs to the start of the other suffix or to the end. *)
+        let suffix_of start =
+          let stop =
+            List.fold_left
+              (fun stop -> function
+                | Some i when i > start && i < stop -> i
+                | _ -> stop)
+              (String.length rhs)
+              [ idx_at; idx_hash ]
+          in
+          String.sub rhs (start + 1) (stop - start - 1)
+        in
+        let prob =
+          match idx_at with
+          | None -> Ok 1.0
+          | Some i -> (
+              let s = suffix_of i in
+              match float_of_string_opt s with
+              | Some p when p > 0.0 && p <= 1.0 -> Ok p
+              | _ ->
+                  Error
+                    (Printf.sprintf "bad probability %S: expected @p with p \
+                                     in (0, 1]" s))
+        in
+        let max_fires =
+          match idx_hash with
+          | None -> Ok None
+          | Some i -> (
+              let s = suffix_of i in
+              match int_of_string_opt s with
+              | Some n when n >= 1 -> Ok (Some n)
+              | _ ->
+                  Error
+                    (Printf.sprintf "bad count %S: expected #n with n >= 1" s))
+        in
+        match (parse_action (String.sub rhs 0 action_end), prob, max_fires)
+        with
+        | Ok action, Ok prob, Ok max_fires ->
+            Ok { point; action; prob; max_fires }
+        | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> fail msg)
+
+let parse_plan text =
+  String.split_on_char ';' text
+  |> List.filter_map (fun s ->
+         let s = String.trim s in
+         if s = "" then None else Some s)
+  |> List.fold_left
+       (fun acc s ->
+         match (acc, parse_spec s) with
+         | Error _, _ -> acc
+         | _, (Error _ as e) -> e
+         | Ok specs, Ok spec -> Ok (spec :: specs))
+       (Ok [])
+  |> Result.map List.rev
+
+(* ----------------------------------------------------------- armed state *)
+
+type armed_spec = { spec : spec; mutable remaining : int option }
+
+type state = {
+  rng : Rng.t;
+  table : (string, armed_spec list) Hashtbl.t;
+  tally : (string, int) Hashtbl.t;
+}
+
+let state : state option ref = ref None
+
+let arm ?(seed = 0) specs =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun spec ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt table spec.point) in
+      Hashtbl.replace table spec.point
+        (prev @ [ { spec; remaining = spec.max_fires } ]))
+    specs;
+  state := Some { rng = Rng.create seed; table; tally = Hashtbl.create 8 }
+
+let disarm () = state := None
+let armed () = !state <> None
+
+let plan () =
+  match !state with
+  | None -> []
+  | Some st ->
+      Hashtbl.fold (fun _ specs acc -> List.map (fun a -> a.spec) specs @ acc)
+        st.table []
+
+let fires point =
+  match !state with
+  | None -> 0
+  | Some st -> Option.value ~default:0 (Hashtbl.find_opt st.tally point)
+
+let env_var = "QR_FAULTS"
+let seed_env_var = "QR_FAULTS_SEED"
+
+let arm_from_env () =
+  match Sys.getenv_opt "QR_FAULTS" with
+  | None | Some "" -> Ok false
+  | Some text -> (
+      match parse_plan text with
+      | Error _ as e -> (e :> (bool, string) result)
+      | Ok specs -> (
+          match Sys.getenv_opt "QR_FAULTS_SEED" with
+          | None ->
+              arm specs;
+              Ok true
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some seed ->
+                  arm ~seed specs;
+                  Ok true
+              | None ->
+                  Error
+                    (Printf.sprintf "QR_FAULTS_SEED %S is not an integer" s))))
+
+(* Fire every armed spec at [point] whose action kind the caller can
+   apply: draw probability, consume a firing, bump the tally.  Specs the
+   caller cannot apply are skipped entirely (no draw, no firing) so the
+   matching helper still sees them. *)
+let fire st point ~applies =
+  match Hashtbl.find_opt st.table point with
+  | None -> []
+  | Some armed_specs ->
+      List.filter_map
+        (fun a ->
+          if not (applies a.spec.action) then None
+          else if a.remaining = Some 0 then None
+          else if a.spec.prob < 1.0 && Rng.float st.rng 1.0 >= a.spec.prob
+          then None
+          else begin
+            (match a.remaining with
+            | Some n -> a.remaining <- Some (n - 1)
+            | None -> ());
+            Hashtbl.replace st.tally point
+              (1 + Option.value ~default:0 (Hashtbl.find_opt st.tally point));
+            Metrics.incr c_injections;
+            Some a.spec.action
+          end)
+        armed_specs
+
+let point name ~f =
+  match !state with
+  | None -> f ()
+  | Some st ->
+      List.iter
+        (function
+          | Delay_ms ms -> Unix.sleepf (float_of_int ms /. 1000.)
+          | Raise -> raise (Injected name)
+          | Raise_errno e -> raise (Unix.Unix_error (e, "fault", name))
+          | Truncate | Corrupt -> ())
+        (fire st name ~applies:(function
+          | Raise | Raise_errno _ | Delay_ms _ -> true
+          | Truncate | Corrupt -> false));
+      f ()
+
+let corrupt name mangle v =
+  match !state with
+  | None -> v
+  | Some st ->
+      if
+        fire st name ~applies:(function Corrupt -> true | _ -> false) <> []
+      then mangle v
+      else v
+
+let truncate name len =
+  match !state with
+  | None -> len
+  | Some st ->
+      if len <= 1 then len
+      else if
+        fire st name ~applies:(function Truncate -> true | _ -> false) <> []
+      then 1 + Rng.int st.rng (len - 1)
+      else len

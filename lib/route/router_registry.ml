@@ -1,8 +1,27 @@
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Grid = Qr_graph.Grid
+module Fault = Qr_fault.Fault
 
 let table : (string, Router_intf.t) Hashtbl.t = Hashtbl.create 16
 let order : string list ref = ref []
+
+(* The [engine.plan]/[engine.execute] fault points live inside the leaf
+   engines, attached here at registration time — not in the callers — so
+   resilience wrappers like {!verified} observe their children's injected
+   faults instead of being re-injected themselves. *)
+let with_fault_points (engine : Router_intf.t) =
+  {
+    engine with
+    Router_intf.plan =
+      (fun ws config input ->
+        Fault.point "engine.plan" ~f:(fun () ->
+            engine.Router_intf.plan ws config input));
+    execute =
+      (fun plan ->
+        Fault.point "engine.execute" ~f:(fun () ->
+            engine.Router_intf.execute plan));
+  }
 
 let register (engine : Router_intf.t) =
   let name = engine.Router_intf.name in
@@ -10,7 +29,7 @@ let register (engine : Router_intf.t) =
   if Hashtbl.mem table name then
     invalid_arg
       (Printf.sprintf "Router_registry.register: duplicate engine %S" name);
-  Hashtbl.replace table name engine;
+  Hashtbl.replace table name (with_fault_points engine);
   order := name :: !order
 
 let find name = Hashtbl.find_opt table name
@@ -54,6 +73,117 @@ let route_generic ?ws ?config engine graph dist pi =
   in
   Router_intf.route ?ws ?config engine
     (Router_intf.Graph_input (graph, dist, pi))
+
+(* {2 Verified routing with graceful degradation} *)
+
+let c_verify_failures = Metrics.counter "router_verify_failures"
+let c_degraded = Metrics.counter "router_degraded"
+
+(* Plain tallies next to the metrics counters: the counters only count
+   while Metrics is enabled, but health reports must see degradation
+   regardless. *)
+let verify_failures_total = ref 0
+let degradations_total = ref 0
+let verify_failures () = !verify_failures_total
+let degradations () = !degradations_total
+
+exception Verification_failed of { engine : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed { engine; reason } ->
+        Some
+          (Printf.sprintf "Router_registry.Verification_failed(engine %S: %s)"
+             engine reason)
+    | _ -> None)
+
+let validate input sched =
+  let n = Router_intf.input_size input in
+  let pi = Router_intf.input_perm input in
+  let graph =
+    match input with
+    | Router_intf.Grid_input (grid, _) -> Grid.graph grid
+    | Router_intf.Graph_input (g, _, _) -> g
+  in
+  if not (Schedule.is_valid graph sched) then
+    Error "a layer is not a matching of the coupling graph"
+  else if not (Schedule.realizes ~n sched pi) then
+    Error "the schedule does not realize the requested permutation"
+  else Ok ()
+
+let default_verify_chain = [ generic_fallback; "naive" ]
+
+let verify_warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let note_verify_failure ~engine ~reason =
+  incr verify_failures_total;
+  Metrics.incr c_verify_failures;
+  if not (Hashtbl.mem verify_warned engine) then begin
+    Hashtbl.replace verify_warned engine ();
+    Printf.eprintf
+      "qroute: warning: engine %S produced no verified schedule (%s); \
+       degrading through the fallback chain\n%!"
+      engine reason
+  end
+
+(* Wrap an engine so every schedule it emits is checked against the
+   routing invariant (valid matchings realizing pi) before it can
+   escape.  An invalid schedule or a raising engine degrades through
+   [chain] — each candidate verified the same way — and only when the
+   whole chain is exhausted does the wrapper raise. *)
+let verified ?(chain = default_verify_chain) engine =
+  let attempt ws config input candidate =
+    match Router_intf.run_plan ?ws candidate config input with
+    | sched -> (
+        match validate input sched with
+        | Ok () -> Ok sched
+        | Error _ as e -> e)
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let plan ws config input =
+    match attempt ws config input engine with
+    | Ok sched -> Router_intf.Ready sched
+    | Error reason ->
+        note_verify_failure ~engine:engine.Router_intf.name ~reason;
+        let graph_input =
+          match input with
+          | Router_intf.Graph_input _ -> true
+          | Router_intf.Grid_input _ -> false
+        in
+        let rec degrade = function
+          | [] ->
+              raise
+                (Verification_failed
+                   { engine = engine.Router_intf.name; reason })
+          | name :: rest -> (
+              let candidate =
+                if name = engine.Router_intf.name then None
+                else
+                  match find name with
+                  | Some e
+                    when e.Router_intf.capabilities.grid_only && graph_input
+                    ->
+                      None
+                  | c -> c
+              in
+              match candidate with
+              | None -> degrade rest
+              | Some fallback -> (
+                  match attempt ws config input fallback with
+                  | Ok sched ->
+                      incr degradations_total;
+                      Metrics.incr c_degraded;
+                      Trace.add_attr "degraded_to"
+                        (Trace.String fallback.Router_intf.name);
+                      Router_intf.Ready sched
+                  | Error reason ->
+                      note_verify_failure
+                        ~engine:fallback.Router_intf.name ~reason;
+                      degrade rest))
+        in
+        degrade chain
+  in
+  { engine with Router_intf.plan; execute = Router_intf.execute_plan }
 
 (* {2 The grid engines} *)
 

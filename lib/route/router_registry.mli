@@ -10,6 +10,11 @@
 
 val register : Router_intf.t -> unit
 (** Add an engine.  Registration order is preserved by {!names}/{!all}.
+    The stored engine's plan/execute are wrapped in the [engine.plan] /
+    [engine.execute] fault points ({!Qr_fault.Fault}), so injection
+    plans target the leaf computations — resilience wrappers like
+    {!verified} built on top observe their children's faults instead of
+    being re-injected themselves.
     @raise Invalid_argument on a duplicate or empty name. *)
 
 val find : string -> Router_intf.t option
@@ -40,6 +45,44 @@ val note_fallback : from:string -> to_:string -> unit
     stderr once per [from] name.  Exposed for engines that implement their
     own fallback paths. *)
 
+(** {2 Verified routing}
+
+    The serving stack's "never emit an unroutable schedule" guarantee:
+    {!verified} wraps any engine so every schedule it produces is checked
+    against the routing invariant before escaping, degrading through a
+    fallback chain when the engine misbehaves (DESIGN.md §11). *)
+
+exception Verification_failed of { engine : string; reason : string }
+(** Raised by a {!verified} engine when the wrapped engine {e and} every
+    fallback in the chain failed to produce a valid schedule. *)
+
+val validate : Router_intf.input -> Schedule.t -> (unit, string) result
+(** The invariant itself: every layer a matching of the coupling graph
+    ({!Schedule.is_valid}) and the whole schedule realizing the requested
+    permutation ({!Schedule.realizes}).  The error says which half
+    failed. *)
+
+val verified : ?chain:string list -> Router_intf.t -> Router_intf.t
+(** [verified engine] routes with [engine], checks the result with
+    {!validate}, and on an invalid schedule {e or} a raising engine
+    retries down [chain] (default [["ats"; "naive"]]; the wrapped
+    engine's own name and, on generic-graph inputs, grid-only chain
+    members are skipped).  Each failure bumps [router_verify_failures]
+    and warns once per engine name; each rescue bumps [router_degraded]
+    and records a [degraded_to] span attribute.  Exhausting the chain
+    raises {!Verification_failed}.  The wrapper keeps the engine's name
+    and capabilities, so plan-cache keys and span attributes are
+    unchanged. *)
+
+val verify_failures : unit -> int
+(** Process-wide count of verification failures (primary or fallback),
+    counted even when metrics collection is off — the [health] method's
+    degradation report. *)
+
+val degradations : unit -> int
+(** Process-wide count of requests rescued by a fallback engine. *)
+
 (**/**)
 
 val default_contenders : string list
+val default_verify_chain : string list

@@ -1,17 +1,21 @@
 module Json = Qr_obs.Json
+module Metrics = Qr_obs.Metrics
+module Rng = Qr_util.Rng
+module Fault = Qr_fault.Fault
+
+let c_retries = Metrics.counter "client_retries"
 
 let call ~path line =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
   match
     Fun.protect ~finally @@ fun () ->
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    let msg = line ^ "\n" in
-    let n = String.length msg in
-    let pos = ref 0 in
-    while !pos < n do
-      pos := !pos + Unix.write_substring fd msg !pos (n - !pos)
-    done;
+    Fault.point "client.connect" ~f:(fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX path));
+    (match Io_util.write_line ~fault:"client.write" fd line with
+    | Ok () -> ()
+    | Error `Closed ->
+        raise (Unix.Unix_error (Unix.EPIPE, "write", "response socket")));
     (* Half-close: the server sees EOF after the request but the read
        side stays open for the response. *)
     Unix.shutdown fd Unix.SHUTDOWN_SEND;
@@ -20,9 +24,9 @@ let call ~path line =
     let rec read_line () =
       if String.contains (Buffer.contents buf) '\n' then ()
       else
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> ()
-        | k ->
+        match Io_util.read_chunk ~fault:"client.read" fd chunk with
+        | Io_util.Eof | Io_util.Closed -> ()
+        | Io_util.Read k ->
             Buffer.add_subbytes buf chunk 0 k;
             read_line ()
     in
@@ -37,6 +41,7 @@ let call ~path line =
   | result -> result
   | exception Unix.Unix_error (err, fn, _) ->
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | exception Fault.Injected point -> Error ("injected fault at " ^ point)
 
 let rpc ~path request =
   match call ~path (Json.to_string (Protocol.request_to_json request)) with
@@ -45,3 +50,74 @@ let rpc ~path request =
       match Json.of_string line with
       | Ok json -> Ok json
       | Error msg -> Error ("bad response: " ^ msg))
+
+(* ------------------------------------------------------------- retries *)
+
+type retry = {
+  attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+  budget_ms : float;
+}
+
+let default_retry =
+  { attempts = 4; base_delay_ms = 5.; max_delay_ms = 100.; budget_ms = 1000. }
+
+let retryable_code = function
+  | Protocol.Overloaded -> true
+  | Protocol.Parse_error | Protocol.Invalid_request | Protocol.Unknown_method
+  | Protocol.Invalid_params | Protocol.Unsupported_input
+  | Protocol.Deadline_exceeded | Protocol.Internal_error ->
+      false
+
+type outcome =
+  | Response of Json.t
+  | Server_error of Protocol.error * Json.t
+  | Transport_failure of string
+
+let attempt_once ~path line =
+  match call ~path line with
+  | Error msg -> Transport_failure msg
+  | Ok resp_line -> (
+      match Json.of_string resp_line with
+      | Error msg -> Transport_failure ("bad response: " ^ msg)
+      | Ok json -> (
+          match Protocol.response_result json with
+          | Ok _ -> Response json
+          | Error err -> Server_error (err, json)))
+
+let retryable = function
+  | Response _ -> false
+  | Transport_failure _ -> true
+  | Server_error (err, _) -> retryable_code err.Protocol.code
+
+let rpc_retry ?(retry = default_retry) ?(seed = 0) ~path request =
+  let rng = Rng.create seed in
+  let line = Json.to_string (Protocol.request_to_json request) in
+  let start = Unix.gettimeofday () in
+  let budget_left () =
+    retry.budget_ms -. ((Unix.gettimeofday () -. start) *. 1000.)
+  in
+  (* Each attempt opens a fresh connection ([call] is one-shot), so a
+     half-dead socket from the previous attempt can never poison the
+     next one.  Backoff is decorrelated jitter: the delay is uniform on
+     [base, 3 * previous], capped at [max_delay_ms] and clamped to what
+     is left of the retry budget. *)
+  let rec go attempt prev_delay =
+    let outcome = attempt_once ~path line in
+    if (not (retryable outcome)) || attempt >= retry.attempts then outcome
+    else
+      let left = budget_left () in
+      if left <= 0. then outcome
+      else begin
+        let span = Float.max 0. ((prev_delay *. 3.) -. retry.base_delay_ms) in
+        let jittered =
+          retry.base_delay_ms +. (if span > 0. then Rng.float rng span else 0.)
+        in
+        let delay = Float.min (Float.min retry.max_delay_ms jittered) left in
+        Metrics.incr c_retries;
+        if delay > 0. then Unix.sleepf (delay /. 1000.);
+        go (attempt + 1) delay
+      end
+  in
+  go 1 retry.base_delay_ms

@@ -1,4 +1,4 @@
-(** One-shot client for the routing service.
+(** One-shot client for the routing service, with retries.
 
     Connects to a {!Server.run_socket} Unix-domain socket, sends a single
     request line, half-closes, and reads the single response line — the
@@ -6,11 +6,56 @@
     scripts and smoke tests.  Transport failures (no socket, refused
     connection, truncated response) come back as [Error] strings; protocol
     errors arrive inside the response envelope
-    ({!Protocol.response_result}). *)
+    ({!Protocol.response_result}).
+
+    {!rpc_retry} layers a retry policy on top: transport failures and
+    [overloaded] responses (the transient classes) are retried with
+    decorrelated-jitter backoff under a total time budget; typed request
+    errors ([invalid_request], [deadline_exceeded], ...) are never
+    retried — the request would just fail again.  Every attempt opens a
+    fresh connection, so a peer that died mid-response (EPIPE) is
+    recovered by reconnecting.  Retries bump the [client_retries]
+    metric.  Fault points [client.connect], [client.write] and
+    [client.read] make the transport failable under a chaos plan without
+    a misbehaving server (DESIGN.md §11). *)
 
 val call : path:string -> string -> (string, string) result
 (** [call ~path line] sends [line] (newline appended) and returns the
-    response line (newline stripped). *)
+    response line (newline stripped).  Writes ride {!Io_util} (EINTR and
+    short-write safe). *)
 
 val rpc : path:string -> Protocol.request -> (Protocol.Json.t, string) result
-(** Render the envelope, {!call}, and parse the response document. *)
+(** Render the envelope, {!call}, and parse the response document.  One
+    attempt, no retries. *)
+
+(** {2 Retrying transport} *)
+
+type retry = {
+  attempts : int;  (** Total attempts including the first (default 4). *)
+  base_delay_ms : float;  (** Backoff floor (default 5ms). *)
+  max_delay_ms : float;  (** Per-delay cap (default 100ms). *)
+  budget_ms : float;
+      (** Total retry budget; once spent, the last outcome is returned
+          as-is (default 1000ms). *)
+}
+
+val default_retry : retry
+
+val retryable_code : Protocol.error_code -> bool
+(** [true] only for the transient class ([overloaded]).  Typed request
+    errors are deterministic — retrying cannot help. *)
+
+(** The three-way result a caller actually branches on: success envelope,
+    typed server error (with the full envelope for printing), or
+    transport failure.  [qroute request] maps these to exit codes
+    0 / 3 / 1. *)
+type outcome =
+  | Response of Protocol.Json.t  (** Full envelope containing [result]. *)
+  | Server_error of Protocol.error * Protocol.Json.t
+      (** Decoded error plus the full envelope. *)
+  | Transport_failure of string
+
+val rpc_retry :
+  ?retry:retry -> ?seed:int -> path:string -> Protocol.request -> outcome
+(** Attempt the RPC under the retry policy.  [seed] makes the jitter
+    stream deterministic (default 0) — same seed, same delays. *)

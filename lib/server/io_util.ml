@@ -1,0 +1,35 @@
+module Fault = Qr_fault.Fault
+
+type read_result = Read of int | Eof | Closed
+
+let with_fault fault f =
+  match fault with Some name -> Fault.point name ~f | None -> f ()
+
+let write_all ?fault fd s =
+  let n = String.length s in
+  let rec go pos =
+    if pos >= n then Ok ()
+    else
+      let len =
+        match fault with
+        | Some name -> Fault.truncate name (n - pos)
+        | None -> n - pos
+      in
+      match with_fault fault (fun () -> Unix.write_substring fd s pos len) with
+      | written -> go (pos + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Error `Closed
+  in
+  go 0
+
+let write_line ?fault fd line = write_all ?fault fd (line ^ "\n")
+
+let rec read_chunk ?fault fd buf =
+  match
+    with_fault fault (fun () -> Unix.read fd buf 0 (Bytes.length buf))
+  with
+  | 0 -> Eof
+  | k -> Read k
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk ?fault fd buf
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Closed

@@ -1,0 +1,37 @@
+(** Hardened file-descriptor I/O for the serving loops.
+
+    Plain [Unix.write]/[Unix.read] calls are wrong in three ways a busy
+    server hits constantly: writes can be short (kernel buffers fill),
+    both can be interrupted by signals ([EINTR] — the SIGINT/SIGTERM
+    handlers the socket server installs make this routine), and a peer
+    that went away surfaces as [EPIPE]/[ECONNRESET] which must close one
+    connection, never the accept loop.  These helpers absorb all three:
+    short writes and [EINTR] are retried until the operation completes,
+    and peer-gone errors come back as values instead of exceptions.
+
+    Both helpers carry an optional {!Qr_fault.Fault} point name so a
+    chaos plan can tear writes ([truncate]), storm them with
+    [raise(eintr)], or kill the peer mid-response ([raise(epipe)])
+    deterministically — see DESIGN.md §11. *)
+
+type read_result =
+  | Read of int  (** [n > 0] bytes were read. *)
+  | Eof  (** Orderly end of stream. *)
+  | Closed  (** The peer reset the connection. *)
+
+val write_all :
+  ?fault:string -> Unix.file_descr -> string -> (unit, [ `Closed ]) result
+(** Write the whole string, looping over short writes and [EINTR].
+    [EPIPE]/[ECONNRESET] (peer closed mid-response) return
+    [Error `Closed].  [fault] names a fault point applied to every
+    underlying write: [Truncate] shortens the attempted length (the loop
+    still completes the payload), raising actions are interpreted like
+    the matching errno. *)
+
+val write_line :
+  ?fault:string -> Unix.file_descr -> string -> (unit, [ `Closed ]) result
+(** {!write_all} of [line ^ "\n"]. *)
+
+val read_chunk : ?fault:string -> Unix.file_descr -> bytes -> read_result
+(** Read once into the buffer, retrying [EINTR].  0 bytes is {!Eof};
+    [ECONNRESET]/[EPIPE] is {!Closed}. *)

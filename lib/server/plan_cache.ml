@@ -1,5 +1,6 @@
 module Grid = Qr_graph.Grid
 module Metrics = Qr_obs.Metrics
+module Fault = Qr_fault.Fault
 module Router_config = Qr_route.Router_config
 module Schedule = Qr_route.Schedule
 
@@ -70,14 +71,24 @@ let push_front t e =
   (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
   t.head <- Some e
 
+(* Chaos corruptor for the [cache.find] fault point: mangle the hit the
+   smallest way the verifier must still catch — drop the first layer of a
+   nonempty schedule (wrong permutation), or invent a swap for an empty
+   one.  The stored entry itself is never mutated, so evicting and
+   replanning heals the poisoned key. *)
+let corrupt_schedule = function
+  | [] -> [ [| (0, 1) |] ]
+  | _ :: rest -> rest
+
 let find t k =
+  Fault.point "cache.find" ~f:(fun () -> ());
   match Hashtbl.find_opt t.table k with
   | Some e ->
       t.hits <- t.hits + 1;
       Metrics.incr c_hits;
       unlink t e;
       push_front t e;
-      Some e.value
+      Some (Fault.corrupt "cache.find" corrupt_schedule e.value)
   | None ->
       t.misses <- t.misses + 1;
       Metrics.incr c_misses;
@@ -93,6 +104,7 @@ let evict_lru t =
       Metrics.incr c_evictions
 
 let add t k v =
+  Fault.point "cache.insert" ~f:(fun () -> ());
   if t.capacity > 0 then begin
     (match Hashtbl.find_opt t.table k with
     | Some old ->
@@ -112,6 +124,13 @@ let find_or_add t k compute =
       let v = compute () in
       add t k v;
       (v, false)
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table k
 
 let clear t =
   Hashtbl.reset t.table;

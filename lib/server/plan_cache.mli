@@ -13,6 +13,11 @@
     {!Qr_obs.Metrics} registry ([plan_cache_hits], [plan_cache_misses],
     [plan_cache_evictions]) when collection is enabled.
 
+    Fault points: [cache.find] fires on every lookup (raising actions
+    simulate a broken cache; [corrupt] mangles the {e returned} schedule
+    — the stored entry is untouched, so {!remove} + replan heals the
+    key) and [cache.insert] fires on every store.  See DESIGN.md §11.
+
     Not thread-safe; use one cache per server event loop. *)
 
 type t
@@ -46,6 +51,11 @@ val find_or_add :
   t -> key -> (unit -> Qr_route.Schedule.t) -> Qr_route.Schedule.t * bool
 (** [find_or_add t k compute] returns [(schedule, cached)]: the cached
     schedule with [true], or [compute ()] — inserted — with [false]. *)
+
+val remove : t -> key -> unit
+(** Drop one entry (no-op when absent).  Does not count as an eviction —
+    the caller is invalidating, not aging out; {!Session} uses this to
+    shed entries whose schedules fail re-verification. *)
 
 val clear : t -> unit
 (** Drop every entry; the hit/miss/eviction counters are kept. *)

@@ -109,17 +109,14 @@ let request_of_json json =
 
 let ok_response ~id result = Json.Obj [ ("id", id); ("result", result) ]
 
-let error_response ~id { code; message } =
+let error_to_json { code; message } =
   Json.Obj
     [
-      ("id", id);
-      ( "error",
-        Json.Obj
-          [
-            ("code", Json.String (code_to_string code));
-            ("message", Json.String message);
-          ] );
+      ("code", Json.String (code_to_string code));
+      ("message", Json.String message);
     ]
+
+let error_response ~id err = Json.Obj [ ("id", id); ("error", error_to_json err) ]
 
 let response_result json =
   match Json.member "result" json with

@@ -76,6 +76,10 @@ val request_id : Json.t -> Json.t
 
 val ok_response : id:Json.t -> Json.t -> Json.t
 
+val error_to_json : error -> Json.t
+(** [{"code": ..., "message": ...}] — the payload [error_response] wraps;
+    also the per-item error shape inside [route_batch] results. *)
+
 val error_response : id:Json.t -> error -> Json.t
 
 val response_result : Json.t -> (Json.t, error) result

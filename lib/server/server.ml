@@ -1,7 +1,10 @@
 module Metrics = Qr_obs.Metrics
+module Fault = Qr_fault.Fault
 
 let c_connections = Metrics.counter "server_connections"
 let c_shed = Metrics.counter "server_shed_requests"
+let c_crashed = Metrics.counter "server_crashed_requests"
+let c_budget_closes = Metrics.counter "server_error_budget_closes"
 
 (* ---------------------------------------------------------- channel loop *)
 
@@ -13,7 +16,13 @@ let serve_channels ?config ?session ic oc =
     while true do
       let line = input_line ic in
       if String.trim line <> "" then begin
-        output_string oc (Session.handle_line session line);
+        let reply =
+          try Session.handle_line session line
+          with exn ->
+            Metrics.incr c_crashed;
+            Session.crashed_response_line line exn
+        in
+        output_string oc reply;
         output_char oc '\n';
         flush oc
       end
@@ -33,17 +42,31 @@ type conn = {
   mutable eof : bool;
 }
 
-(* Blocking write of a whole response; an EPIPE/ECONNRESET (client went
-   away mid-response) just marks the connection dead. *)
+(* Blocking write of a whole response.  EPIPE/ECONNRESET (client went away
+   mid-response) and an injected write fault just mark the connection
+   dead; short writes and EINTR are absorbed by {!Io_util}. *)
 let send conn line =
-  let s = line ^ "\n" in
-  let n = String.length s in
-  let pos = ref 0 in
-  try
-    while !pos < n do
-      pos := !pos + Unix.write_substring conn.fd s !pos (n - !pos)
-    done
-  with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> conn.eof <- true
+  match Io_util.write_line ~fault:"server.write" conn.fd line with
+  | Ok () -> ()
+  | Error `Closed -> conn.eof <- true
+  | exception Fault.Injected _ -> conn.eof <- true
+
+(* Answer one request line, with per-request exception isolation — a
+   crashing handler yields an [internal_error] response, never a dead
+   loop — and enforce the connection's consecutive-error budget. *)
+let respond config conn line =
+  let reply =
+    try Session.handle_line conn.session line
+    with exn ->
+      Metrics.incr c_crashed;
+      Session.crashed_response_line line exn
+  in
+  send conn reply;
+  let budget = config.Session.error_budget in
+  if budget > 0 && Session.consecutive_errors conn.session >= budget then begin
+    Metrics.incr c_budget_closes;
+    conn.eof <- true
+  end
 
 (* Move complete lines out of the connection's buffer; the trailing
    fragment (no newline yet) stays for the next read. *)
@@ -63,6 +86,25 @@ let take_lines conn =
    with Not_found -> ());
   Buffer.add_substring conn.inbuf data !start (n - !start);
   List.rev !lines
+
+(* ------------------------------------------------- single-connection loop *)
+
+let serve_fd ?(config = Session.default_config) ?session fd =
+  let session =
+    match session with Some s -> s | None -> Session.create ~config ()
+  in
+  let conn = { fd; inbuf = Buffer.create 256; session; eof = false } in
+  let chunk = Bytes.create 65536 in
+  while not conn.eof do
+    match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
+    | Io_util.Eof | Io_util.Closed -> conn.eof <- true
+    | Io_util.Read k ->
+        Buffer.add_subbytes conn.inbuf chunk 0 k;
+        List.iter (fun line -> respond config conn line) (take_lines conn)
+    | exception Fault.Injected _ -> conn.eof <- true
+  done
+
+(* ------------------------------------------------------------ socket loop *)
 
 let remove_stale_socket path =
   match Unix.lstat path with
@@ -106,7 +148,10 @@ let run_socket ?(config = Session.default_config) ~path () =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ ->
         if List.memq listener ready then begin
-          (match Unix.accept listener with
+          (* An injected accept fault skips this accept; the client sees a
+             connection that was never picked up and retries. *)
+          match Fault.point "server.accept" ~f:(fun () -> Unix.accept listener)
+          with
           | fd, _ ->
               Metrics.incr c_connections;
               conns :=
@@ -117,16 +162,16 @@ let run_socket ?(config = Session.default_config) ~path () =
                   eof = false;
                 }
                 :: !conns
-          | exception Unix.Unix_error _ -> ())
+          | exception Fault.Injected _ -> ()
+          | exception Unix.Unix_error _ -> ()
         end;
         List.iter
           (fun conn ->
             if List.memq conn.fd ready then
-              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-              | 0 -> conn.eof <- true
-              | k -> Buffer.add_subbytes conn.inbuf chunk 0 k
-              | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
-                  conn.eof <- true)
+              match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
+              | Io_util.Eof | Io_util.Closed -> conn.eof <- true
+              | Io_util.Read k -> Buffer.add_subbytes conn.inbuf chunk 0 k
+              | exception Fault.Injected _ -> conn.eof <- true)
           !conns;
         (* Stage complete lines in the bounded in-flight queue; requests
            pipelined past the bound are shed with [overloaded] right
@@ -151,7 +196,7 @@ let run_socket ?(config = Session.default_config) ~path () =
            the client is really gone. *)
         while not (Queue.is_empty pending) do
           let conn, line = Queue.pop pending in
-          send conn (Session.handle_line conn.session line)
+          respond config conn line
         done;
         conns :=
           List.filter

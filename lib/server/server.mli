@@ -1,14 +1,27 @@
 (** The routing service's serving loops.
 
-    Two transports share one request pipeline ({!Session.handle_line}):
+    Three transports share one request pipeline ({!Session.handle_line}):
 
     - {!run_stdio} serves newline-delimited JSON on stdin/stdout — the
       mode scripts and CI pipe through, and the transport a transpiler
       pipeline would spawn as a subprocess;
+    - {!serve_fd} serves one already-connected file descriptor (one end
+      of a socketpair, an inherited fd) until EOF — the loop the chaos
+      harness drives;
     - {!run_socket} serves a Unix-domain socket with a single-threaded
       [select] event loop: every accepted connection gets its own
       {!Session} (its own workspace) but all connections share one
       {!Plan_cache}, so any client can hit plans another client warmed.
+
+    Robustness (DESIGN.md §11): every request runs under per-request
+    exception isolation — a crashing handler produces an
+    [internal_error] response ([server_crashed_requests] metric), never
+    a dead loop.  Writes loop over short writes and [EINTR]; a peer
+    vanishing mid-response ([EPIPE]/[ECONNRESET]) closes that connection
+    only.  A connection that accumulates [error_budget] consecutive
+    error responses is shed ([server_error_budget_closes] metric).
+    Fault points [server.read], [server.write] and [server.accept] let a
+    chaos plan exercise all of these deterministically.
 
     Backpressure: complete request lines are staged in a bounded in-flight
     queue; once [max_inflight] requests are queued in a poll cycle,
@@ -17,9 +30,9 @@
 
     Shutdown: SIGINT/SIGTERM flip a flag; the loop stops accepting,
     answers everything already queued, flushes, closes and removes the
-    socket file before returning (graceful drain).  Both loops enable
-    {!Qr_obs.Metrics} so the [metrics] method and the plan-cache counters
-    are live. *)
+    socket file before returning (graceful drain).  The stdio and socket
+    loops enable {!Qr_obs.Metrics} so the [metrics] method and the
+    plan-cache counters are live. *)
 
 val serve_channels :
   ?config:Session.config -> ?session:Session.t -> in_channel -> out_channel ->
@@ -31,6 +44,15 @@ val serve_channels :
 
 val run_stdio : ?config:Session.config -> unit -> unit
 (** {!serve_channels} on stdin/stdout with metrics enabled. *)
+
+val serve_fd :
+  ?config:Session.config -> ?session:Session.t -> Unix.file_descr -> unit
+(** Serve one connected descriptor until EOF, peer reset, an injected
+    read fault, or the error budget trips — reads through the
+    [server.read] fault point and writes through [server.write], so chaos
+    plans reach the real descriptor I/O (unlike {!serve_channels}, whose
+    buffered channels bypass it).  Does not close [fd] and does not
+    enable metrics; the caller owns both. *)
 
 val run_socket : ?config:Session.config -> path:string -> unit -> unit
 (** Bind, listen and serve [path] until SIGINT/SIGTERM, then drain.  A

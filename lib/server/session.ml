@@ -1,6 +1,7 @@
 module Json = Qr_obs.Json
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Fault = Qr_fault.Fault
 module Timer = Qr_util.Timer
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
@@ -16,11 +17,26 @@ module P = Protocol
 
 let c_requests = Metrics.counter "server_requests"
 let c_errors = Metrics.counter "server_errors"
+let c_cache_errors = Metrics.counter "plan_cache_errors"
+let c_cache_invalid = Metrics.counter "plan_cache_invalid"
 let h_request_ms = Metrics.histogram "server_request_ms"
 
-type config = { cache_capacity : int; max_batch : int; max_inflight : int }
+type config = {
+  cache_capacity : int;
+  max_batch : int;
+  max_inflight : int;
+  verify : bool;
+  error_budget : int;
+}
 
-let default_config = { cache_capacity = 128; max_batch = 64; max_inflight = 32 }
+let default_config =
+  {
+    cache_capacity = 128;
+    max_batch = 64;
+    max_inflight = 32;
+    verify = false;
+    error_budget = 32;
+  }
 
 type t = {
   config : config;
@@ -28,6 +44,7 @@ type t = {
   ws : Router_workspace.t;
   started_ns : int64;
   mutable served : int;
+  mutable consecutive_errors : int;
 }
 
 let create ?(config = default_config) ?cache () =
@@ -46,11 +63,13 @@ let create ?(config = default_config) ?cache () =
     ws = Router_workspace.create ();
     started_ns = Timer.now_ns ();
     served = 0;
+    consecutive_errors = 0;
   }
 
 let config t = t.config
 let cache t = t.cache
 let requests_served t = t.served
+let consecutive_errors t = t.consecutive_errors
 
 (* ----------------------------------------------------- param extraction *)
 
@@ -85,16 +104,54 @@ let parse_config params =
 exception Overloaded_batch of string
 exception Unknown_method of string
 
+(* Wrap the engine in the verified-routing degradation ladder when the
+   session runs with --verify-schedules. *)
+let effective_engine t engine =
+  if t.config.verify then Router_registry.verified engine else engine
+
 (* One routing call behind the cache: a hit returns the stored schedule
    (byte-identical response), a miss plans through the session's shared
-   workspace and stores the result. *)
+   workspace and stores the result.
+
+   Cache trouble must never fail a request that routing itself could
+   answer: a raising lookup counts as a miss, a raising insert serves
+   the freshly planned schedule uncached (plan_cache_errors counts
+   both).  In verify mode every hit is re-checked against the routing
+   invariant; a hit that no longer verifies (bit rot, a chaos plan's
+   [cache.find=corrupt], a poisoned entry) is evicted and replanned —
+   the self-healing path ([plan_cache_invalid]). *)
 let routed t grid pi engine config =
   let key =
     Plan_cache.key ~grid ~pi ~engine:engine.Router_intf.name ~config
   in
-  Plan_cache.find_or_add t.cache key (fun () ->
-      Router_intf.route ~ws:t.ws ~config engine
-        (Router_intf.Grid_input (grid, pi)))
+  let plan () =
+    Router_intf.route ~ws:t.ws ~config (effective_engine t engine)
+      (Router_intf.Grid_input (grid, pi))
+  in
+  let compute () =
+    let sched = plan () in
+    (try Plan_cache.add t.cache key sched
+     with _ -> Metrics.incr c_cache_errors);
+    (sched, false)
+  in
+  let hit =
+    try Plan_cache.find t.cache key
+    with _ ->
+      Metrics.incr c_cache_errors;
+      None
+  in
+  match hit with
+  | None -> compute ()
+  | Some sched when not t.config.verify -> (sched, true)
+  | Some sched -> (
+      match
+        Router_registry.validate (Router_intf.Grid_input (grid, pi)) sched
+      with
+      | Ok () -> (sched, true)
+      | Error _ ->
+          Metrics.incr c_cache_invalid;
+          Plan_cache.remove t.cache key;
+          compute ())
 
 let do_route t deadline params =
   let* grid = parse_grid params in
@@ -142,26 +199,48 @@ let do_route_batch t deadline params =
       (Overloaded_batch
          (Printf.sprintf "batch of %d exceeds max_batch %d" batch
             t.config.max_batch));
+  (* The deadline is checked between items: the finished prefix is
+     returned, and the unfinished tail gets per-item deadline_exceeded
+     errors — not one all-or-nothing failure for work already done. *)
   let results =
     List.map
       (fun pi ->
-        Deadline.check deadline;
-        routed t grid pi engine config)
+        match
+          Deadline.check deadline;
+          routed t grid pi engine config
+        with
+        | result -> Ok result
+        | exception Deadline.Exceeded ->
+            Error (P.error P.Deadline_exceeded "request deadline exceeded"))
       perms
   in
-  Deadline.check deadline;
+  let completed =
+    List.fold_left
+      (fun n -> function Ok _ -> n + 1 | Error _ -> n)
+      0 results
+  in
   Ok
     (Json.Obj
        [
          ("engine", Json.String engine.Router_intf.name);
          ( "schedules",
-           Json.List (List.map (fun (s, _) -> Schedule.to_json s) results) );
-         ("cached", Json.List (List.map (fun (_, c) -> Json.Bool c) results));
+           Json.List
+             (List.map
+                (function
+                  | Ok (s, _) -> Schedule.to_json s
+                  | Error err -> Json.Obj [ ("error", P.error_to_json err) ])
+                results) );
+         ( "cached",
+           Json.List
+             (List.map
+                (function Ok (_, c) -> Json.Bool c | Error _ -> Json.Null)
+                results) );
+         ("completed", Json.Int completed);
        ])
 
 (* Transpilation manages its own per-run workspace inside
    [Transpile.run_grid]; the session's is not threaded through. *)
-let do_transpile deadline params =
+let do_transpile t deadline params =
   let* grid = parse_grid params in
   let* logical =
     match Json.member "circuit" params with
@@ -180,7 +259,9 @@ let do_transpile deadline params =
   let* engine = parse_engine params in
   let* config = parse_config params in
   Deadline.check deadline;
-  let result = Transpile.run_grid ~engine ~config grid logical in
+  let result =
+    Transpile.run_grid ~engine:(effective_engine t engine) ~config grid logical
+  in
   Deadline.check deadline;
   Ok
     (Json.Obj
@@ -196,9 +277,18 @@ let do_transpile deadline params =
 
 let health t =
   let uptime_ns = Int64.sub (Timer.now_ns ()) t.started_ns in
+  let degraded = Router_registry.degradations () > 0 in
   Json.Obj
     [
-      ("status", Json.String "ok");
+      ("status", Json.String (if degraded then "degraded" else "ok"));
+      ( "verify",
+        Json.Obj
+          [
+            ("enabled", Json.Bool t.config.verify);
+            ("failures", Json.Int (Router_registry.verify_failures ()));
+            ("degraded", Json.Int (Router_registry.degradations ()));
+          ] );
+      ("faults_armed", Json.Bool (Fault.armed ()));
       ("requests", Json.Int t.served);
       ("uptime_s", Json.Float (Int64.to_float uptime_ns /. 1e9));
       ("engines", Json.Int (List.length (Router_registry.names ())));
@@ -217,7 +307,7 @@ let dispatch t deadline meth params =
   match meth with
   | "route" -> do_route t deadline params
   | "route_batch" -> do_route_batch t deadline params
-  | "transpile" -> do_transpile deadline params
+  | "transpile" -> do_transpile t deadline params
   | "engines" -> Ok (P.engines_json ())
   | "health" -> Ok (health t)
   | "metrics" -> Ok (Metrics.to_json ())
@@ -238,7 +328,10 @@ let handle_request t (req : P.request) =
     Trace.with_span "serve_request"
       ~attrs:[ ("method", Trace.String req.meth) ]
     @@ fun () ->
-    match dispatch t deadline req.meth req.params with
+    match
+      Fault.point "session.dispatch" ~f:(fun () ->
+          dispatch t deadline req.meth req.params)
+    with
     | Ok json -> Ok json
     | Error msg -> Error (P.error P.Invalid_params msg)
     | exception Deadline.Exceeded ->
@@ -249,13 +342,30 @@ let handle_request t (req : P.request) =
         Error
           (P.error P.Unsupported_input
              (Printf.sprintf "engine %s: %s" engine reason))
+    | exception Router_registry.Verification_failed { engine; reason } ->
+        Error
+          (P.error P.Internal_error
+             (Printf.sprintf
+                "engine %s: no verified schedule from any fallback (%s)"
+                engine reason))
+    | exception Fault.Injected point ->
+        Error (P.error P.Internal_error ("injected fault at " ^ point))
     | exception Invalid_argument msg -> Error (P.error P.Internal_error msg)
     | exception Failure msg -> Error (P.error P.Internal_error msg)
+    (* Per-request isolation: whatever a handler raises, the connection
+       gets a typed envelope and the serving loop keeps running. *)
+    | exception exn ->
+        Error
+          (P.error P.Internal_error
+             ("unexpected exception: " ^ Printexc.to_string exn))
   in
   Metrics.observe h_request_ms (Timer.elapsed_s timer *. 1000.);
   match result with
-  | Ok json -> P.ok_response ~id:req.id json
+  | Ok json ->
+      t.consecutive_errors <- 0;
+      P.ok_response ~id:req.id json
   | Error err ->
+      t.consecutive_errors <- t.consecutive_errors + 1;
       Metrics.incr c_errors;
       P.error_response ~id:req.id err
 
@@ -264,23 +374,32 @@ let handle_line t line =
     match Json.of_string line with
     | Error msg ->
         Metrics.incr c_errors;
+        t.consecutive_errors <- t.consecutive_errors + 1;
         P.error_response ~id:Json.Null (P.error P.Parse_error msg)
     | Ok json -> (
         match P.request_of_json json with
         | Error err ->
             Metrics.incr c_errors;
+            t.consecutive_errors <- t.consecutive_errors + 1;
             P.error_response ~id:(P.request_id json) err
         | Ok req -> handle_request t req)
   in
   Json.to_string response
 
+let recovered_id line =
+  match Json.of_string line with
+  | Ok json -> P.request_id json
+  | Error _ -> Json.Null
+
 let overloaded_response_line line =
   Metrics.incr c_errors;
-  let id =
-    match Json.of_string line with
-    | Ok json -> P.request_id json
-    | Error _ -> Json.Null
-  in
   Json.to_string
-    (P.error_response ~id
+    (P.error_response ~id:(recovered_id line)
        (P.error P.Overloaded "server overloaded: in-flight queue full"))
+
+let crashed_response_line line exn =
+  Metrics.incr c_errors;
+  Json.to_string
+    (P.error_response ~id:(recovered_id line)
+       (P.error P.Internal_error
+          ("request handler crashed: " ^ Printexc.to_string exn)))

@@ -21,6 +21,17 @@ type config = {
   max_inflight : int;
       (** Pipelined requests the server queues per poll cycle before
           answering [overloaded] (default 32; enforced by {!Server}). *)
+  verify : bool;
+      (** Verified routing ([--verify-schedules]): every schedule —
+          freshly planned or a cache hit — is checked against the
+          routing invariant; bad engines degrade through the
+          {!Qr_route.Router_registry.verified} fallback chain, and
+          cache hits that fail re-verification are evicted and
+          replanned (default [false]). *)
+  error_budget : int;
+      (** Consecutive error responses a connection may accumulate
+          before the socket server sheds it (default 32; 0 disables;
+          enforced by {!Server}). *)
 }
 
 val default_config : config
@@ -41,6 +52,11 @@ val cache : t -> Plan_cache.t
 
 val requests_served : t -> int
 
+val consecutive_errors : t -> int
+(** Error responses since the last success on this session — the
+    per-connection error budget the socket server enforces.  Reset to 0
+    by every success response. *)
+
 val handle_request : t -> Protocol.request -> Protocol.Json.t
 (** Dispatch one parsed request to its method handler; always returns a
     response envelope (errors are encoded, never raised). *)
@@ -53,3 +69,8 @@ val overloaded_response_line : string -> string
 (** The [overloaded] error response for a request line that was shed
     before parsing — echoes the line's id when one can be recovered.
     Used by {!Server}'s bounded in-flight queue. *)
+
+val crashed_response_line : string -> exn -> string
+(** The [internal_error] response the serving loops substitute when the
+    request pipeline itself raised — the last line of per-request
+    exception isolation (one bad request can never kill the loop). *)

@@ -166,6 +166,24 @@ let test_every_engine_routes () =
         (Router_registry.all ()))
     [ (1, 6); (4, 4); (3, 5) ]
 
+(* The registry-wide routing invariant, as a property: whatever the grid
+   shape and permutation, every registered engine emits a schedule that is
+   executable on the grid's coupling graph and realizes the permutation. *)
+let every_engine_valid_on_random_grids =
+  QCheck.Test.make
+    ~name:"every registry engine emits valid realizing schedules"
+    ~count:40
+    QCheck.(triple (int_range 1 6) (int_range 2 6) (int_range 0 10_000))
+    (fun (m, n, seed) ->
+      let grid = Grid.make ~rows:m ~cols:n in
+      let pi = Perm.check (Rng.permutation (Rng.create seed) (m * n)) in
+      List.for_all
+        (fun engine ->
+          let sched = Router_intf.route_grid engine grid pi in
+          Schedule.is_valid (Grid.graph grid) sched
+          && Schedule.realizes ~n:(m * n) sched pi)
+        (Router_registry.all ()))
+
 let test_grid_only_rejects_graph_input () =
   let g = Graph.path 6 in
   let oracle = Distance.of_graph g in
@@ -454,6 +472,7 @@ let () =
         [
           Alcotest.test_case "every engine routes" `Quick
             test_every_engine_routes;
+          qc every_engine_valid_on_random_grids;
           Alcotest.test_case "grid-only rejects graph input" `Quick
             test_grid_only_rejects_graph_input;
           Alcotest.test_case "generic fallback is explicit" `Quick
