@@ -215,7 +215,16 @@ let phases sides =
       if not (Obs_json.equal parsed doc) then
         failwith "BENCH_phases.json did not round-trip"
   | Error msg -> failwith ("BENCH_phases.json is not well-formed: " ^ msg));
-  Printf.printf "\n(phase breakdown written to %s)\n" path
+  Printf.printf "\n(phase breakdown written to %s)\n" path;
+  (* The same registry in Prometheus text format (the last strategy's
+     counts — the registry is reset per strategy above): an exemplar
+     exposition for scrape-and-plot tooling, and a standing check that
+     [to_prometheus] renders every instrument the routing stack
+     registers. *)
+  let prom_path = "BENCH_phases.prom" in
+  Out_channel.with_open_text prom_path (fun oc ->
+      output_string oc (Metrics.to_prometheus ()));
+  Printf.printf "(prometheus exposition written to %s)\n" prom_path
 
 (* ------------------------------------------------------------- ablations *)
 

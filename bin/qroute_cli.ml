@@ -347,22 +347,57 @@ let stats_cmd =
       & opt kind_conv Generators.Random
       & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"Workload permutation class.")
   in
-  let run rows cols seed kind =
-    let grid = Grid.make ~rows ~cols in
-    let pi = Generators.generate grid kind (Rng.create seed) in
-    Format.printf "workload %s on %dx%d:@.%a@." (Generators.name kind) rows
-      cols Perm_stats.pp
-      (Perm_stats.compute grid pi);
-    let histogram = Perm_stats.displacement_histogram grid pi in
-    Format.printf "displacement histogram:@.";
-    Array.iteri
-      (fun d count -> if count > 0 then Format.printf "  d=%d: %d@." d count)
-      histogram;
-    Format.printf "depth lower bound: %d@." (Bounds.depth_lower_bound grid pi)
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Instead of describing a workload, poll a running $(b,serve \
+             --socket) instance's $(b,stats) method and print its one-call \
+             operational snapshot (health + plan cache + metrics) as \
+             JSON.")
+  in
+  let run rows cols seed kind socket =
+    match socket with
+    | Some path -> (
+        let request =
+          Server_protocol.request ~id:(Obs_json.String "stats") ~meth:"stats"
+            (Obs_json.Obj [])
+        in
+        match Server_client.rpc ~path request with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | Ok response -> (
+            match Server_protocol.response_result response with
+            | Ok result -> print_endline (Obs_json.to_string result)
+            | Error err ->
+                Printf.eprintf "error: %s: %s\n"
+                  (Server_protocol.code_to_string err.Server_protocol.code)
+                  err.Server_protocol.message;
+                exit 3))
+    | None ->
+        let grid = Grid.make ~rows ~cols in
+        let pi = Generators.generate grid kind (Rng.create seed) in
+        Format.printf "workload %s on %dx%d:@.%a@." (Generators.name kind)
+          rows cols Perm_stats.pp
+          (Perm_stats.compute grid pi);
+        let histogram = Perm_stats.displacement_histogram grid pi in
+        Format.printf "displacement histogram:@.";
+        Array.iteri
+          (fun d count ->
+            if count > 0 then Format.printf "  d=%d: %d@." d count)
+          histogram;
+        Format.printf "depth lower bound: %d@."
+          (Bounds.depth_lower_bound grid pi)
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Describe a workload permutation")
-    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ kind)
+    (Cmd.info "stats"
+       ~doc:
+         "Describe a workload permutation, or snapshot a running server's \
+          telemetry")
+    Term.(const run $ rows_arg $ cols_arg $ seed_arg $ kind $ socket)
 
 (* ---------------------------------------------------------------- engines *)
 
@@ -411,6 +446,53 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Serve a Unix-domain socket at $(docv).")
+
+(* Telemetry knobs shared by the serving modes (DESIGN.md §12). *)
+
+let log_level_conv =
+  let parse s =
+    match Log.level_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Log.level_name l))
+
+let log_format_conv =
+  let parse s =
+    match Log.format_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with Log.Logfmt -> "logfmt" | Log.Json -> "json") )
+
+let log_level_arg ~default =
+  Arg.(
+    value & opt log_level_conv default
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Structured-log threshold on stderr: debug, info, warn or error.  \
+           At $(b,info) every request gets an access-log record (method, \
+           status, bytes, ms, trace_id, cache outcome).")
+
+let log_format_arg =
+  Arg.(
+    value & opt log_format_conv Log.Logfmt
+    & info [ "log-format" ] ~docv:"FMT"
+        ~doc:"Structured-log record shape: logfmt or json (one per line).")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-file" ] ~docv:"PATH"
+        ~doc:
+          "Write the Prometheus text exposition to $(docv) (atomic \
+           tmp+rename) about every 2 seconds and at shutdown — file-based \
+           scraping without an HTTP listener.")
 
 let serve_cmd =
   let stdio =
@@ -463,7 +545,7 @@ let serve_cmd =
              the socket server closes it; 0 disables shedding.")
   in
   let run stdio socket cache_capacity max_batch max_inflight verify
-      error_budget =
+      error_budget metrics_file log_level log_format =
     let config =
       {
         Server_session.cache_capacity;
@@ -473,13 +555,17 @@ let serve_cmd =
         error_budget;
       }
     in
+    (* Server mode raises the default level to Info: access logs go to
+       stderr while NDJSON responses own stdout. *)
+    Log.set_level log_level;
+    Log.set_format log_format;
     match (stdio, socket) with
     | true, Some _ ->
         Printf.eprintf "error: --stdio and --socket are mutually exclusive\n";
         exit 2
-    | true, None -> Server.run_stdio ~config ()
+    | true, None -> Server.run_stdio ~config ?metrics_file ()
     | false, Some path -> (
-        try Server.run_socket ~config ~path () with
+        try Server.run_socket ~config ?metrics_file ~path () with
         | Failure msg ->
             Printf.eprintf "error: %s\n" msg;
             exit 1
@@ -499,17 +585,20 @@ let serve_cmd =
            `P
              "Long-lived routing service: one JSON request per line, one \
               response per line.  Methods: route, route_batch, transpile, \
-              engines, health, metrics.  Repeated identical route requests \
-              are answered from an LRU plan cache; per-request \
+              engines, health, metrics, stats.  Repeated identical route \
+              requests are answered from an LRU plan cache; per-request \
               $(b,deadline_ms) budgets return $(b,deadline_exceeded) \
               errors instead of stalling the connection.  SIGINT/SIGTERM \
               drain gracefully.  See DESIGN.md \xC2\xA710 for the wire \
-              protocol and \xC2\xA711 for the fault model \
-              ($(b,--verify-schedules), $(b,QR_FAULTS)).";
+              protocol, \xC2\xA711 for the fault model \
+              ($(b,--verify-schedules), $(b,QR_FAULTS)) and \xC2\xA712 for \
+              the telemetry plane ($(b,--metrics-file), access logs, \
+              trace propagation).";
          ])
     Term.(
       const run $ stdio $ socket_arg $ cache_capacity $ max_batch
-      $ max_inflight $ verify $ error_budget)
+      $ max_inflight $ verify $ error_budget $ metrics_file_arg
+      $ log_level_arg ~default:Log.Info $ log_format_arg)
 
 (* ---------------------------------------------------------------- request *)
 
@@ -521,7 +610,7 @@ let request_cmd =
       & info [] ~docv:"METHOD"
           ~doc:
             "Method to call: route, route_batch, transpile, engines, \
-             health, metrics.")
+             health, metrics, stats.")
   in
   let params =
     Arg.(
@@ -549,7 +638,18 @@ let request_cmd =
              errors are never retried).  Retries bump the \
              $(b,client_retries) metric.")
   in
-  let run socket meth params deadline_ms id retries =
+  let traceparent =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "traceparent" ] ~docv:"TP"
+          ~doc:
+            "Forward an existing trace context \
+             (00-<trace_id>-<parent_id>-01) instead of minting one; the \
+             server adopts its trace_id for every span and access-log \
+             record of the request, and the response echoes it.")
+  in
+  let run socket meth params deadline_ms id retries traceparent =
     let path =
       match socket with
       | Some path -> path
@@ -567,9 +667,19 @@ let request_cmd =
           Printf.eprintf "error: bad --params: %s\n" msg;
           exit 2
     in
+    let trace =
+      match traceparent with
+      | None -> None
+      | Some tp -> (
+          match Trace_context.of_traceparent tp with
+          | Ok t -> Some t
+          | Error msg ->
+              Printf.eprintf "error: bad --traceparent: %s\n" msg;
+              exit 2)
+    in
     let request =
-      Server_protocol.request ~id:(Obs_json.String id) ?deadline_ms ~meth
-        params
+      Server_protocol.request ~id:(Obs_json.String id) ?deadline_ms ?trace
+        ~meth params
     in
     let retry =
       { Server_client.default_retry with attempts = 1 + max 0 retries }
@@ -601,7 +711,9 @@ let request_cmd =
                 on stdout), e.g. $(b,deadline_exceeded) or \
                 $(b,invalid_params)";
          ])
-    Term.(const run $ socket_arg $ meth $ params $ deadline_ms $ id $ retries)
+    Term.(
+      const run $ socket_arg $ meth $ params $ deadline_ms $ id $ retries
+      $ traceparent)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

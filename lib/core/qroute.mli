@@ -9,8 +9,11 @@
 module Rng = Qr_util.Rng
 module Stats = Qr_util.Stats
 module Timer = Qr_util.Timer
+module Resource = Qr_util.Resource
 module Trace = Qr_obs.Trace
+module Trace_context = Qr_obs.Trace_context
 module Metrics = Qr_obs.Metrics
+module Log = Qr_obs.Log
 module Obs_json = Qr_obs.Json
 module Fault = Qr_fault.Fault
 module Graph = Qr_graph.Graph

@@ -1,0 +1,104 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | _ -> Error (Printf.sprintf "unknown log level %S" s)
+
+type format = Logfmt | Json
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "logfmt" -> Ok Logfmt
+  | "json" -> Ok Json
+  | _ -> Error (Printf.sprintf "unknown log format %S" s)
+
+(* ------------------------------------------------------------- state *)
+
+let current_level = ref Warn
+let set_level l = current_level := l
+let level () = !current_level
+let would_log l = severity l >= severity !current_level
+
+let current_format = ref Logfmt
+let set_format f = current_format := f
+
+let default_sink line = Printf.eprintf "%s\n%!" line
+let sink = ref default_sink
+let set_sink = function None -> sink := default_sink | Some f -> sink := f
+
+(* Monotonic origin for ts_ms; process start, same clock as Trace. *)
+let t0_ns = Qr_util.Timer.now_ns ()
+
+let now_ms () =
+  Int64.to_float (Int64.sub (Qr_util.Timer.now_ns ()) t0_ns) /. 1e6
+
+(* --------------------------------------------------------- rendering *)
+
+(* logfmt values: bare when safe, JSON-quoted otherwise. *)
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '"' || c = '=' || c < ' ' || c = '\\')
+       s
+
+let add_logfmt_value b (v : Json.t) =
+  match v with
+  | Json.String s when not (needs_quoting s) -> Buffer.add_string b s
+  | Json.String _ | Json.List _ | Json.Obj _ -> Json.to_buffer b v
+  | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ -> Json.to_buffer b v
+
+let render fmt lvl ~ts_ms msg kvs =
+  let b = Buffer.create 128 in
+  (match fmt with
+  | Json ->
+      let fields =
+        ("ts_ms", Json.Float ts_ms)
+        :: ("level", Json.String (level_name lvl))
+        :: ("msg", Json.String msg)
+        :: kvs
+      in
+      Json.to_buffer b (Json.Obj fields)
+  | Logfmt ->
+      Printf.bprintf b "ts_ms=%.3f level=%s msg=" ts_ms (level_name lvl);
+      add_logfmt_value b (Json.String msg);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          add_logfmt_value b v)
+        kvs);
+  Buffer.contents b
+
+(* ---------------------------------------------------------- emitting *)
+
+let emit lvl msg kvs =
+  if would_log lvl then
+    !sink (render !current_format lvl ~ts_ms:(now_ms ()) msg kvs)
+
+let debug msg kvs = emit Debug msg kvs
+let info msg kvs = emit Info msg kvs
+let warn msg kvs = emit Warn msg kvs
+let error msg kvs = emit Error msg kvs
+
+let once : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let warn_once ~key msg kvs =
+  if would_log Warn && not (Hashtbl.mem once key) then begin
+    Hashtbl.replace once key ();
+    emit Warn msg kvs
+  end
+
+let reset_once () = Hashtbl.reset once

@@ -1,0 +1,69 @@
+(** Leveled, structured logging for the routing stack.
+
+    Records are single lines — JSON objects or logfmt — on the process's
+    monotonic clock, written to a pluggable sink (stderr by default).
+    Every record carries [ts_ms] (milliseconds since program start),
+    [level], [msg], and the caller's key/value pairs in order.
+
+    {b No-op fast path}: {!would_log} is a single comparison.  Hot paths
+    should guard record construction with it
+    ([if Log.would_log Info then Log.info ...]) so a disabled level costs
+    one branch and no allocation.
+
+    The default level is {!Warn}: warnings and errors print out of the
+    box; [info]/[debug] are opt-in (the serving CLI raises the level to
+    [Info] so access logs appear). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> (level, string) result
+(** Case-insensitive parse of ["debug" | "info" | "warn" | "error"]. *)
+
+val level_name : level -> string
+
+(** {2 Configuration} *)
+
+val set_level : level -> unit
+(** Records below this level are dropped.  Default: {!Warn}. *)
+
+val level : unit -> level
+
+val would_log : level -> bool
+(** [true] when a record at this level would be emitted — the hot-path
+    guard (a single comparison). *)
+
+type format = Logfmt | Json
+(** [Logfmt]: [ts_ms=1.234 level=info msg="..." k=v ...].
+    [Json]: [{"ts_ms":1.234,"level":"info","msg":"...","k":v,...}]. *)
+
+val format_of_string : string -> (format, string) result
+
+val set_format : format -> unit
+(** Default: {!Logfmt}. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Where finished lines (no trailing newline) go.  [None] restores the
+    default sink, stderr with a flush per line. *)
+
+(** {2 Emitting}
+
+    Key/value pairs use {!Json.t} values; they follow [ts_ms], [level]
+    and [msg] in the record, in the order given. *)
+
+val debug : string -> (string * Json.t) list -> unit
+val info : string -> (string * Json.t) list -> unit
+val warn : string -> (string * Json.t) list -> unit
+val error : string -> (string * Json.t) list -> unit
+
+val warn_once : key:string -> string -> (string * Json.t) list -> unit
+(** Like {!warn}, but at most one record per distinct [key] for the
+    process lifetime — for per-cause warnings in library code that may
+    fire on every request (engine fallbacks, verification failures). *)
+
+val reset_once : unit -> unit
+(** Forget which {!warn_once} keys have fired (tests). *)
+
+(** {2 Rendering (tests, previews)} *)
+
+val render : format -> level -> ts_ms:float -> string -> (string * Json.t) list -> string
+(** The line {!debug}/{!info}/... would emit, without sending it. *)

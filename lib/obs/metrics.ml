@@ -20,6 +20,17 @@ let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
 (* Registration order, most recent first. *)
 let order : string list ref = ref []
 
+(* Optional one-line help strings for the Prometheus exposition; first
+   registration wins. *)
+let helps : (string, string) Hashtbl.t = Hashtbl.create 32
+
+let set_help name = function
+  | Some text when not (Hashtbl.mem helps name) ->
+      Hashtbl.replace helps name text
+  | _ -> ()
+
+let help name = Hashtbl.find_opt helps name
+
 let enabled_flag = ref false
 
 let enabled () = !enabled_flag
@@ -41,7 +52,8 @@ let register name make describe =
             (Printf.sprintf "Metrics: %S already registered as another kind"
                name))
 
-let counter name =
+let counter ?help name =
+  set_help name help;
   match
     register name
       (fun () -> Counter { c_name = name; c_value = 0 })
@@ -50,7 +62,8 @@ let counter name =
   | Counter c -> c
   | _ -> assert false
 
-let gauge name =
+let gauge ?help name =
+  set_help name help;
   match
     register name
       (fun () -> Gauge { g_name = name; g_value = 0.; g_set = false })
@@ -62,7 +75,19 @@ let gauge name =
 let default_buckets =
   [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
 
-let histogram ?(buckets = default_buckets) name =
+(* Geometric 1-2.5-5 ladder from 50µs to 10s, in milliseconds — the
+   bounds every *_ms histogram should use.  The power-of-two default
+   buckets start at 1ms and bucket most request latencies into the first
+   bin; these resolve the sub-millisecond range a routing service
+   actually lives in. *)
+let latency_buckets =
+  [|
+    0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+    1000.; 2500.; 5000.; 10000.;
+  |]
+
+let histogram ?help ?(buckets = default_buckets) name =
+  set_help name help;
   let make () =
     if Array.length buckets = 0 then
       invalid_arg "Metrics.histogram: empty buckets";
@@ -195,3 +220,59 @@ let to_json () =
       ("gauges", Json.Obj (List.rev !gauges));
       ("histograms", Json.Obj (List.rev !histograms));
     ]
+
+(* ----------------------------------------------- Prometheus exposition *)
+
+(* %.12g round-trips every bucket bound we use without trailing-zero
+   noise ("0.25", "5", "1000"), matching what Prometheus client
+   libraries emit for [le] labels. *)
+let pp_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.bprintf b "%.0f" x
+  else Printf.bprintf b "%.12g" x
+
+let add_header b name kind =
+  let text =
+    match help name with
+    | Some h -> h
+    | None -> (
+        match kind with
+        | "counter" -> "Monotonic event count."
+        | "gauge" -> "Last observed value."
+        | _ -> "Distribution of observed values.")
+  in
+  Printf.bprintf b "# HELP %s %s\n" name text;
+  Printf.bprintf b "# TYPE %s %s\n" name kind
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c ->
+          add_header b name "counter";
+          Printf.bprintf b "%s %d\n" c.c_name c.c_value
+      | Gauge g ->
+          if g.g_set then begin
+            add_header b name "gauge";
+            Printf.bprintf b "%s " g.g_name;
+            pp_float b g.g_value;
+            Buffer.add_char b '\n'
+          end
+      | Histogram h ->
+          add_header b name "histogram";
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun k bound ->
+              cumulative := !cumulative + h.h_counts.(k);
+              Printf.bprintf b "%s_bucket{le=\"" h.h_name;
+              pp_float b bound;
+              Printf.bprintf b "\"} %d\n" !cumulative)
+            h.h_bounds;
+          Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" h.h_name h.h_count;
+          Printf.bprintf b "%s_sum " h.h_name;
+          pp_float b h.h_sum;
+          Buffer.add_char b '\n';
+          Printf.bprintf b "%s_count %d\n" h.h_name h.h_count)
+    (List.rev !order);
+  Buffer.contents b

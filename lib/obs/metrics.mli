@@ -14,18 +14,29 @@ type counter
 type gauge
 type histogram
 
-val counter : string -> counter
+val counter : ?help:string -> string -> counter
 (** Register (or look up) a monotonically increasing integer counter.
+    [help] is a one-line description used by {!to_prometheus}; the first
+    registration to supply one wins.
     @raise Invalid_argument if the name is registered as another kind. *)
 
-val gauge : string -> gauge
+val gauge : ?help:string -> string -> gauge
 (** Register (or look up) a last-value-wins float gauge. *)
 
-val histogram : ?buckets:float array -> string -> histogram
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
 (** Register (or look up) a histogram.  [buckets] are strictly increasing
     upper bounds; observations above the last bound land in an implicit
     overflow bucket.  Default: powers of two from 1 to 1024.  On lookup of
     an existing histogram, [buckets] is ignored. *)
+
+val default_buckets : float array
+(** Powers of two from 1 to 1024 — the bounds used when [buckets] is not
+    given. *)
+
+val latency_buckets : float array
+(** Geometric 1-2.5-5 bounds from 0.05 to 10000, intended for
+    millisecond-valued histograms ([*_ms]): resolves 50µs at the low end
+    and 10s at the high end. *)
 
 (** {2 Updates (single branch when disabled)} *)
 
@@ -64,3 +75,10 @@ val to_json : unit -> Json.t
     [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
     Instruments appear in registration order; gauges never set are
     omitted. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text-format exposition of the whole registry.  Each
+    instrument gets [# HELP] and [# TYPE] lines; histograms are emitted
+    as cumulative [name_bucket{le="..."}] series ending with
+    [le="+Inf"], followed by [name_sum] and [name_count].  Gauges never
+    set are omitted.  Instruments appear in registration order. *)

@@ -27,6 +27,15 @@ let completed : span list ref = ref []
 (* Open spans, innermost first. *)
 let stack : frame list ref = ref []
 
+(* Request-scoped trace id: while set, every completed span carries a
+   ("trace_id", String id) attribute, so an exported Chrome trace can be
+   correlated with the request that produced it (DESIGN.md §12). *)
+let current_trace_id : string option ref = ref None
+
+let set_trace_id id = current_trace_id := id
+
+let trace_id () = !current_trace_id
+
 let enabled () = !enabled_flag
 
 let start () =
@@ -46,12 +55,20 @@ let spans () = List.rev !completed
 let with_span name ?attrs f =
   if not !enabled_flag then f ()
   else begin
+    let base =
+      match !current_trace_id with
+      | None -> []
+      | Some id -> [ ("trace_id", String id) ]
+    in
     let frame =
       {
         f_name = name;
         f_depth = List.length !stack;
         f_start = Timer.now_ns ();
-        f_attrs = (match attrs with None -> [] | Some a -> List.rev a);
+        f_attrs =
+          (match attrs with
+          | None -> base
+          | Some a -> List.rev_append a base);
         f_child_ns = 0L;
       }
     in
@@ -204,14 +221,22 @@ let summary_json spans =
 
 let summary_table spans =
   let rows = summary spans in
+  (* Pad the name column to the longest span name (floor 24, the historic
+     width), so names longer than the header never shear the numeric
+     columns out of alignment. *)
+  let width =
+    List.fold_left
+      (fun w row -> max w (String.length row.span_name))
+      24 rows
+  in
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%-24s %8s %12s %12s %12s\n" "span" "count" "total(ms)"
-       "self(ms)" "max(ms)");
+    (Printf.sprintf "%-*s %8s %12s %12s %12s\n" width "span" "count"
+       "total(ms)" "self(ms)" "max(ms)");
   List.iter
     (fun row ->
       Buffer.add_string buf
-        (Printf.sprintf "%-24s %8d %12.3f %12.3f %12.3f\n" row.span_name
+        (Printf.sprintf "%-*s %8d %12.3f %12.3f %12.3f\n" width row.span_name
            row.count
            (seconds row.total_ns *. 1e3)
            (seconds row.self_total_ns *. 1e3)

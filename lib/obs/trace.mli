@@ -28,6 +28,16 @@ type span = {
 val enabled : unit -> bool
 (** Whether a collection is active. *)
 
+val set_trace_id : string option -> unit
+(** Install (or clear) the request-scoped trace id.  While set, every
+    span completed by {!with_span} carries a [("trace_id", String id)]
+    attribute — the hook {!Qr_server.Session} uses to stamp a caller's
+    {!Trace_context} onto the whole [serve_request] span tree.  Cheap
+    either way (one ref write); independent of {!start}/{!stop}. *)
+
+val trace_id : unit -> string option
+(** The currently installed request-scoped trace id. *)
+
 val start : unit -> unit
 (** Begin collecting: clears the buffer and enables {!with_span}. *)
 

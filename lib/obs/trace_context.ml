@@ -1,0 +1,78 @@
+module Rng = Qr_util.Rng
+module Timer = Qr_util.Timer
+
+type t = { trace_id : string; parent_id : string }
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let all_zero s = String.for_all (fun c -> c = '0') s
+
+let check_field ~what ~len s =
+  if String.length s <> len then
+    Error (Printf.sprintf "%s: expected %d hex digits, got %d" what len
+             (String.length s))
+  else if not (String.for_all is_hex s) then
+    Error (Printf.sprintf "%s: not lowercase hex: %S" what s)
+  else if all_zero s then
+    Error (Printf.sprintf "%s: all-zero ids are invalid" what)
+  else Ok ()
+
+let make ~trace_id ~parent_id =
+  match check_field ~what:"trace_id" ~len:32 trace_id with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_field ~what:"parent_id" ~len:16 parent_id with
+      | Error _ as e -> e
+      | Ok () -> Ok { trace_id; parent_id })
+
+(* ---------------------------------------------------------------- minting *)
+
+(* Seeded lazily from the monotonic clock and the PID so concurrent
+   processes mint disjoint streams; [seed] pins it for tests. *)
+let stream : Rng.t option ref = ref None
+
+let seed s = stream := Some (Rng.create s)
+
+let rng () =
+  match !stream with
+  | Some r -> r
+  | None ->
+      let r =
+        Rng.create
+          (Int64.to_int (Timer.now_ns ()) lxor (Unix.getpid () * 0x9e3779b9))
+      in
+      stream := Some r;
+      r
+
+let rec hex_word ~digits =
+  let r = rng () in
+  let raw = Rng.next_int64 r in
+  let s =
+    String.sub (Printf.sprintf "%016Lx" raw) (16 - digits) digits
+  in
+  if all_zero s then hex_word ~digits else s
+
+let fresh_trace_id () = hex_word ~digits:16 ^ hex_word ~digits:16
+
+let mint () = { trace_id = fresh_trace_id (); parent_id = hex_word ~digits:16 }
+
+let child t = { t with parent_id = hex_word ~digits:16 }
+
+(* ------------------------------------------------------------- wire form *)
+
+let to_traceparent t = Printf.sprintf "00-%s-%s-01" t.trace_id t.parent_id
+
+let of_traceparent s =
+  match String.split_on_char '-' s with
+  | [ version; trace_id; parent_id; flags ] ->
+      if version <> "00" then
+        Error (Printf.sprintf "traceparent: unsupported version %S" version)
+      else if String.length flags <> 2 || not (String.for_all is_hex flags)
+      then Error (Printf.sprintf "traceparent: bad flags %S" flags)
+      else make ~trace_id ~parent_id
+  | _ ->
+      Error
+        (Printf.sprintf
+           "traceparent: expected 00-<32 hex>-<16 hex>-<flags>, got %S" s)
+
+let equal a b = a.trace_id = b.trace_id && a.parent_id = b.parent_id

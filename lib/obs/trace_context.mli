@@ -1,0 +1,45 @@
+(** Request-scoped trace context, W3C-traceparent-shaped.
+
+    A context is the pair the tracing world agrees on: a 128-bit
+    [trace_id] naming one end-to-end request (32 lowercase hex digits)
+    and a 64-bit [parent_id] naming the caller's span (16 lowercase hex
+    digits).  The wire form is the W3C [traceparent] header layout,
+
+    {v 00-<trace_id>-<parent_id>-01 v}
+
+    which the routing service carries in the optional ["trace"] field of
+    its request/response envelopes (DESIGN.md §12): clients mint or
+    forward a context, the session adopts it so the whole [serve_request]
+    span tree carries the caller's trace_id, and responses echo it.
+
+    Minting draws from a SplitMix64 stream seeded from the monotonic
+    clock and the PID at first use, so concurrent clients do not collide;
+    {!seed} pins the stream for deterministic tests.  All-zero ids are
+    invalid per the W3C spec and are never minted and never parsed. *)
+
+type t = {
+  trace_id : string;  (** 32 lowercase hex digits, not all zero. *)
+  parent_id : string;  (** 16 lowercase hex digits, not all zero. *)
+}
+
+val make : trace_id:string -> parent_id:string -> (t, string) result
+(** Validate the two fields (length, lowercase hex, not all zero). *)
+
+val mint : unit -> t
+(** A fresh context: new trace_id, new parent_id. *)
+
+val child : t -> t
+(** Same trace, fresh parent_id — the span id a server would hand to its
+    own downstream calls. *)
+
+val seed : int -> unit
+(** Re-seed the minting stream (tests; equal seeds yield equal ids). *)
+
+val to_traceparent : t -> string
+(** [00-<trace_id>-<parent_id>-01]. *)
+
+val of_traceparent : string -> (t, string) result
+(** Parse the wire form.  Only version [00] is accepted; any flags byte
+    is tolerated.  Errors say what was malformed. *)
+
+val equal : t -> t -> bool

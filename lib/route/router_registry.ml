@@ -1,5 +1,7 @@
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Log = Qr_obs.Log
+module Json = Qr_obs.Json
 module Grid = Qr_graph.Grid
 module Fault = Qr_fault.Fault
 
@@ -49,17 +51,16 @@ let get name =
 
 (* {2 Explicit generic-graph fallback} *)
 
-let c_fallbacks = Metrics.counter "router_fallbacks"
-let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+let c_fallbacks =
+  Metrics.counter "router_fallbacks"
+    ~help:"Grid-only engines redirected to the generic-graph fallback."
 
 let note_fallback ~from ~to_ =
   Metrics.incr c_fallbacks;
-  if not (Hashtbl.mem warned from) then begin
-    Hashtbl.replace warned from ();
-    Printf.eprintf
-      "qroute: warning: engine %S is grid-only; using %S for generic graphs\n%!"
-      from to_
-  end
+  Log.warn_once
+    ~key:("fallback:" ^ from)
+    "engine is grid-only; using fallback for generic graphs"
+    [ ("engine", Json.String from); ("fallback", Json.String to_) ]
 
 let generic_fallback = "ats"
 
@@ -113,18 +114,13 @@ let validate input sched =
 
 let default_verify_chain = [ generic_fallback; "naive" ]
 
-let verify_warned : (string, unit) Hashtbl.t = Hashtbl.create 8
-
 let note_verify_failure ~engine ~reason =
   incr verify_failures_total;
   Metrics.incr c_verify_failures;
-  if not (Hashtbl.mem verify_warned engine) then begin
-    Hashtbl.replace verify_warned engine ();
-    Printf.eprintf
-      "qroute: warning: engine %S produced no verified schedule (%s); \
-       degrading through the fallback chain\n%!"
-      engine reason
-  end
+  Log.warn_once ~key:("verify:" ^ engine)
+    "engine produced no verified schedule; degrading through the fallback \
+     chain"
+    [ ("engine", Json.String engine); ("reason", Json.String reason) ]
 
 (* Wrap an engine so every schedule it emits is checked against the
    routing invariant (valid matchings realizing pi) before it can

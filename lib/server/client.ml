@@ -1,9 +1,18 @@
 module Json = Qr_obs.Json
 module Metrics = Qr_obs.Metrics
+module Trace_context = Qr_obs.Trace_context
 module Rng = Qr_util.Rng
 module Fault = Qr_fault.Fault
 
 let c_retries = Metrics.counter "client_retries"
+
+(* Every RPC leaves with a trace context: the caller's when supplied
+   (propagation), a freshly minted one otherwise — so server-side spans
+   and access logs are always correlatable with this call site. *)
+let with_trace (request : Protocol.request) =
+  match request.Protocol.trace with
+  | Some _ -> request
+  | None -> { request with Protocol.trace = Some (Trace_context.mint ()) }
 
 let call ~path line =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -44,6 +53,7 @@ let call ~path line =
   | exception Fault.Injected point -> Error ("injected fault at " ^ point)
 
 let rpc ~path request =
+  let request = with_trace request in
   match call ~path (Json.to_string (Protocol.request_to_json request)) with
   | Error _ as e -> e
   | Ok line -> (
@@ -93,7 +103,9 @@ let retryable = function
 
 let rpc_retry ?(retry = default_retry) ?(seed = 0) ~path request =
   let rng = Rng.create seed in
-  let line = Json.to_string (Protocol.request_to_json request) in
+  (* All attempts share one trace context: the retries of one logical
+     call correlate to one trace_id on the server. *)
+  let line = Json.to_string (Protocol.request_to_json (with_trace request)) in
   let start = Unix.gettimeofday () in
   let budget_left () =
     retry.budget_ms -. ((Unix.gettimeofday () -. start) *. 1000.)

@@ -26,7 +26,9 @@ val call : path:string -> string -> (string, string) result
 
 val rpc : path:string -> Protocol.request -> (Protocol.Json.t, string) result
 (** Render the envelope, {!call}, and parse the response document.  One
-    attempt, no retries. *)
+    attempt, no retries.  A request without a trace context gets a
+    freshly minted one ({!Qr_obs.Trace_context.mint}); a supplied
+    context is forwarded untouched. *)
 
 (** {2 Retrying transport} *)
 
@@ -58,4 +60,6 @@ type outcome =
 val rpc_retry :
   ?retry:retry -> ?seed:int -> path:string -> Protocol.request -> outcome
 (** Attempt the RPC under the retry policy.  [seed] makes the jitter
-    stream deterministic (default 0) — same seed, same delays. *)
+    stream deterministic (default 0) — same seed, same delays.  As with
+    {!rpc}, a missing trace context is minted once; every attempt of the
+    call carries the same trace_id. *)

@@ -1,4 +1,5 @@
 module Json = Qr_obs.Json
+module Trace_context = Qr_obs.Trace_context
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
 module Router_config = Qr_route.Router_config
@@ -47,16 +48,17 @@ type request = {
   meth : string;
   params : Json.t;
   deadline_ms : int option;
+  trace : Trace_context.t option;
 }
 
-let request ?(id = Json.Null) ?deadline_ms ~meth params =
+let request ?(id = Json.Null) ?deadline_ms ?trace ~meth params =
   (match params with
   | Json.Obj _ -> ()
   | _ -> invalid_arg "Protocol.request: params must be an object");
   (match id with
   | Json.Null | Json.Int _ | Json.String _ -> ()
   | _ -> invalid_arg "Protocol.request: id must be an int or string");
-  { id; meth; params; deadline_ms }
+  { id; meth; params; deadline_ms; trace }
 
 let request_to_json r =
   let fields = [ ("id", r.id); ("method", Json.String r.meth) ] in
@@ -67,6 +69,12 @@ let request_to_json r =
     match r.deadline_ms with
     | None -> fields
     | Some ms -> fields @ [ ("deadline_ms", Json.Int ms) ]
+  in
+  let fields =
+    match r.trace with
+    | None -> fields
+    | Some t ->
+        fields @ [ ("trace", Json.String (Trace_context.to_traceparent t)) ]
   in
   Json.Obj fields
 
@@ -96,18 +104,54 @@ let request_of_json json =
               match params_ok with
               | Error msg -> invalid msg
               | Ok params -> (
-                  match Json.member "deadline_ms" json with
-                  | None -> Ok { id; meth; params; deadline_ms = None }
-                  | Some (Json.Int ms) when ms >= 0 ->
-                      Ok { id; meth; params; deadline_ms = Some ms }
-                  | Some _ ->
-                      invalid "deadline_ms: expected a non-negative integer"))
+                  let deadline_ok =
+                    match Json.member "deadline_ms" json with
+                    | None -> Ok None
+                    | Some (Json.Int ms) when ms >= 0 -> Ok (Some ms)
+                    | Some _ ->
+                        Error "deadline_ms: expected a non-negative integer"
+                  in
+                  match deadline_ok with
+                  | Error msg -> invalid msg
+                  | Ok deadline_ms -> (
+                      match Json.member "trace" json with
+                      | None ->
+                          Ok { id; meth; params; deadline_ms; trace = None }
+                      | Some (Json.String tp) -> (
+                          match Trace_context.of_traceparent tp with
+                          | Ok t ->
+                              Ok
+                                {
+                                  id;
+                                  meth;
+                                  params;
+                                  deadline_ms;
+                                  trace = Some t;
+                                }
+                          | Error msg -> invalid ("trace: " ^ msg))
+                      | Some _ ->
+                          invalid "trace: expected a traceparent string")))
           | Some _ -> invalid "method: expected a string"))
   | _ -> invalid "request must be a JSON object"
 
 (* ------------------------------------------------------------ responses *)
 
-let ok_response ~id result = Json.Obj [ ("id", id); ("result", result) ]
+(* Responses echo the request's trace context verbatim (so callers can
+   correlate without holding per-request state) and report the
+   server-side wall time spent on the request. *)
+let response_meta ?trace ?server_ms fields =
+  let fields =
+    match trace with
+    | None -> fields
+    | Some t ->
+        fields @ [ ("trace", Json.String (Trace_context.to_traceparent t)) ]
+  in
+  match server_ms with
+  | None -> fields
+  | Some ms -> fields @ [ ("server_ms", Json.Float ms) ]
+
+let ok_response ?trace ?server_ms ~id result =
+  Json.Obj (response_meta ?trace ?server_ms [ ("id", id); ("result", result) ])
 
 let error_to_json { code; message } =
   Json.Obj
@@ -116,7 +160,21 @@ let error_to_json { code; message } =
       ("message", Json.String message);
     ]
 
-let error_response ~id err = Json.Obj [ ("id", id); ("error", error_to_json err) ]
+let error_response ?trace ?server_ms ~id err =
+  Json.Obj
+    (response_meta ?trace ?server_ms
+       [ ("id", id); ("error", error_to_json err) ])
+
+let response_trace json =
+  match Json.member "trace" json with
+  | Some (Json.String tp) -> (
+      match Trace_context.of_traceparent tp with
+      | Ok t -> Some t
+      | Error _ -> None)
+  | _ -> None
+
+let response_server_ms json =
+  Option.bind (Json.member "server_ms" json) Json.get_float
 
 let response_result json =
   match Json.member "result" json with
@@ -300,4 +358,5 @@ let engines_json () =
     ]
 
 let methods =
-  [ "route"; "route_batch"; "transpile"; "engines"; "health"; "metrics" ]
+  [ "route"; "route_batch"; "transpile"; "engines"; "health"; "metrics";
+    "stats" ]

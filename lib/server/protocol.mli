@@ -23,6 +23,7 @@
     for the full method and error-code tables. *)
 
 module Json = Qr_obs.Json
+module Trace_context = Qr_obs.Trace_context
 
 (** {2 Errors} *)
 
@@ -54,9 +55,18 @@ type request = {
   meth : string;
   params : Json.t;  (** Always an [Obj] ([{}] when omitted). *)
   deadline_ms : int option;
+  trace : Trace_context.t option;
+      (** Caller's trace context, carried as a W3C-traceparent string in
+          the envelope's [trace] field (DESIGN.md §12). *)
 }
 
-val request : ?id:Json.t -> ?deadline_ms:int -> meth:string -> Json.t -> request
+val request :
+  ?id:Json.t ->
+  ?deadline_ms:int ->
+  ?trace:Trace_context.t ->
+  meth:string ->
+  Json.t ->
+  request
 (** Build an envelope; [params] must be an object.
     @raise Invalid_argument otherwise. *)
 
@@ -65,7 +75,8 @@ val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, error) result
 (** Validate an envelope: [method] required, [id] an int/string when
     present, [params] an object when present, [deadline_ms] a non-negative
-    integer when present. *)
+    integer when present, [trace] a well-formed traceparent string when
+    present. *)
 
 val request_id : Json.t -> Json.t
 (** Best-effort id extraction from an arbitrary document — [Null] unless a
@@ -74,18 +85,29 @@ val request_id : Json.t -> Json.t
 
 (** {2 Response envelopes} *)
 
-val ok_response : id:Json.t -> Json.t -> Json.t
+val ok_response :
+  ?trace:Trace_context.t -> ?server_ms:float -> id:Json.t -> Json.t -> Json.t
+(** [trace] echoes the request's context back as a [trace] field;
+    [server_ms] reports server-side wall time for the request. *)
 
 val error_to_json : error -> Json.t
 (** [{"code": ..., "message": ...}] — the payload [error_response] wraps;
     also the per-item error shape inside [route_batch] results. *)
 
-val error_response : id:Json.t -> error -> Json.t
+val error_response :
+  ?trace:Trace_context.t -> ?server_ms:float -> id:Json.t -> error -> Json.t
 
 val response_result : Json.t -> (Json.t, error) result
 (** Destructure a response envelope from the client side: [Ok result] or
     the decoded error.  A malformed envelope decodes as an
     {!Internal_error}. *)
+
+val response_trace : Json.t -> Trace_context.t option
+(** The echoed trace context of a response envelope, when present and
+    well-formed. *)
+
+val response_server_ms : Json.t -> float option
+(** The server-side timing field of a response envelope. *)
 
 (** {2 Parameter codecs} *)
 

@@ -1,4 +1,7 @@
 module Metrics = Qr_obs.Metrics
+module Log = Qr_obs.Log
+module Json = Qr_obs.Json
+module Timer = Qr_util.Timer
 module Fault = Qr_fault.Fault
 
 let c_connections = Metrics.counter "server_connections"
@@ -6,32 +9,74 @@ let c_shed = Metrics.counter "server_shed_requests"
 let c_crashed = Metrics.counter "server_crashed_requests"
 let c_budget_closes = Metrics.counter "server_error_budget_closes"
 
+(* ------------------------------------------------- metrics-file snapshots *)
+
+(* Periodic Prometheus snapshots for file-based scraping: written
+   atomically (tmp + rename) so a concurrent reader never sees a torn
+   exposition.  A failing write warns once and never disturbs serving. *)
+let write_metrics_file path =
+  try
+    Session.refresh_process_gauges ();
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (Metrics.to_prometheus ());
+    close_out oc;
+    Sys.rename tmp path
+  with exn ->
+    Log.warn_once ~key:"metrics_file" "failed to write metrics file"
+      [
+        ("path", Json.String path);
+        ("error", Json.String (Printexc.to_string exn));
+      ]
+
+let metrics_interval_ns = 2_000_000_000L
+
+(* A rate-limited writer: [tick] writes at most every ~2s, [flush] always
+   (startup, shutdown, EOF). *)
+let metrics_writer metrics_file =
+  match metrics_file with
+  | None -> ((fun () -> ()), fun () -> ())
+  | Some path ->
+      let last = ref Int64.min_int in
+      let flush () =
+        last := Timer.now_ns ();
+        write_metrics_file path
+      in
+      let tick () =
+        if Int64.sub (Timer.now_ns ()) !last >= metrics_interval_ns then
+          flush ()
+      in
+      (tick, flush)
+
 (* ---------------------------------------------------------- channel loop *)
 
-let serve_channels ?config ?session ic oc =
+let serve_channels ?config ?session ?metrics_file ic oc =
   let session =
     match session with Some s -> s | None -> Session.create ?config ()
   in
-  try
-    while true do
-      let line = input_line ic in
-      if String.trim line <> "" then begin
-        let reply =
-          try Session.handle_line session line
-          with exn ->
-            Metrics.incr c_crashed;
-            Session.crashed_response_line line exn
-        in
-        output_string oc reply;
-        output_char oc '\n';
-        flush oc
-      end
-    done
-  with End_of_file -> ()
+  let tick_metrics, flush_metrics = metrics_writer metrics_file in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let reply =
+           try Session.handle_line session line
+           with exn ->
+             Metrics.incr c_crashed;
+             Session.crashed_response_line line exn
+         in
+         output_string oc reply;
+         output_char oc '\n';
+         flush oc;
+         tick_metrics ()
+       end
+     done
+   with End_of_file -> ());
+  flush_metrics ()
 
-let run_stdio ?config () =
+let run_stdio ?config ?metrics_file () =
   Metrics.enable ();
-  serve_channels ?config stdin stdout
+  serve_channels ?config ?metrics_file stdin stdout
 
 (* ----------------------------------------------------------- socket loop *)
 
@@ -112,8 +157,9 @@ let remove_stale_socket path =
   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let run_socket ?(config = Session.default_config) ~path () =
+let run_socket ?(config = Session.default_config) ?metrics_file ~path () =
   Metrics.enable ();
+  let tick_metrics, flush_metrics = metrics_writer metrics_file in
   let stop = ref false in
   let prev_int =
     Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
@@ -139,9 +185,13 @@ let run_socket ?(config = Session.default_config) ~path () =
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     ignore (Sys.signal Sys.sigint prev_int);
     ignore (Sys.signal Sys.sigterm prev_term);
-    ignore (Sys.signal Sys.sigpipe prev_pipe)
+    ignore (Sys.signal Sys.sigpipe prev_pipe);
+    (* Final snapshot so the last requests before shutdown are visible
+       to scrapers. *)
+    flush_metrics ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
+  flush_metrics ();
   while not !stop do
     let fds = listener :: List.map (fun c -> c.fd) !conns in
     match Unix.select fds [] [] 1.0 with
@@ -158,7 +208,10 @@ let run_socket ?(config = Session.default_config) ~path () =
                 {
                   fd;
                   inbuf = Buffer.create 256;
-                  session = Session.create ~config ~cache ();
+                  session =
+                    Session.create ~config ~cache
+                      ~inflight_probe:(fun () -> Queue.length pending)
+                      ();
                   eof = false;
                 }
                 :: !conns
@@ -206,5 +259,8 @@ let run_socket ?(config = Session.default_config) ~path () =
                 false
               end
               else true)
-            !conns
+            !conns;
+        (* Piggyback on the poll cadence (select times out at 1.0s), so
+           an idle server still refreshes the snapshot about every 2s. *)
+        tick_metrics ()
   done

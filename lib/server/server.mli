@@ -32,17 +32,29 @@
     answers everything already queued, flushes, closes and removes the
     socket file before returning (graceful drain).  The stdio and socket
     loops enable {!Qr_obs.Metrics} so the [metrics] method and the
-    plan-cache counters are live. *)
+    plan-cache counters are live.
+
+    Telemetry (DESIGN.md §12): with [metrics_file] set, the loops write
+    the Prometheus exposition ({!Qr_obs.Metrics.to_prometheus}, process
+    gauges refreshed) to that path atomically (tmp + rename) about every
+    2 seconds and at shutdown/EOF — file-based scraping without an HTTP
+    listener.  Access-log records are emitted per request by
+    {!Session.handle_line}. *)
 
 val serve_channels :
-  ?config:Session.config -> ?session:Session.t -> in_channel -> out_channel ->
+  ?config:Session.config ->
+  ?session:Session.t ->
+  ?metrics_file:string ->
+  in_channel ->
+  out_channel ->
   unit
 (** Serve one connection's worth of requests: read lines until EOF,
     answer each on [oc] (flushed per response).  Blank lines are skipped.
     The loop {!run_stdio} wraps, and the seam tests drive over an
-    in-memory channel pair. *)
+    in-memory channel pair.  [metrics_file] snapshots are written at most
+    every ~2s after a response, plus once at EOF. *)
 
-val run_stdio : ?config:Session.config -> unit -> unit
+val run_stdio : ?config:Session.config -> ?metrics_file:string -> unit -> unit
 (** {!serve_channels} on stdin/stdout with metrics enabled. *)
 
 val serve_fd :
@@ -54,8 +66,11 @@ val serve_fd :
     buffered channels bypass it).  Does not close [fd] and does not
     enable metrics; the caller owns both. *)
 
-val run_socket : ?config:Session.config -> path:string -> unit -> unit
+val run_socket :
+  ?config:Session.config -> ?metrics_file:string -> path:string -> unit -> unit
 (** Bind, listen and serve [path] until SIGINT/SIGTERM, then drain.  A
     stale socket file left by a crashed server is replaced; any other
     existing file is an error ([Failure]).  The socket file is removed on
-    exit. *)
+    exit.  Each accepted connection's session reports the shared pending
+    queue's length as its [health] [inflight] count.  [metrics_file]
+    snapshots are written at startup, about every 2s, and at shutdown. *)

@@ -1,8 +1,11 @@
 module Json = Qr_obs.Json
 module Trace = Qr_obs.Trace
+module Trace_context = Qr_obs.Trace_context
 module Metrics = Qr_obs.Metrics
+module Log = Qr_obs.Log
 module Fault = Qr_fault.Fault
 module Timer = Qr_util.Timer
+module Resource = Qr_util.Resource
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
 module Schedule = Qr_route.Schedule
@@ -15,11 +18,45 @@ module Qasm = Qr_circuit.Qasm
 module Transpile = Qr_circuit.Transpile
 module P = Protocol
 
-let c_requests = Metrics.counter "server_requests"
-let c_errors = Metrics.counter "server_errors"
-let c_cache_errors = Metrics.counter "plan_cache_errors"
-let c_cache_invalid = Metrics.counter "plan_cache_invalid"
-let h_request_ms = Metrics.histogram "server_request_ms"
+let c_requests =
+  Metrics.counter "server_requests" ~help:"Requests dispatched by sessions."
+
+let c_errors =
+  Metrics.counter "server_errors" ~help:"Error responses sent by sessions."
+
+let c_cache_errors =
+  Metrics.counter "plan_cache_errors"
+    ~help:"Plan-cache operations that raised and were absorbed."
+
+let c_cache_invalid =
+  Metrics.counter "plan_cache_invalid"
+    ~help:"Cache hits that failed re-verification and were replanned."
+
+let h_request_ms =
+  Metrics.histogram "server_request_ms" ~buckets:Metrics.latency_buckets
+    ~help:"Server-side request wall time in milliseconds."
+
+(* Process-level gauges, refreshed on every metrics/stats exposition
+   (and by the server's --metrics-file writer). *)
+let g_uptime =
+  Metrics.gauge "process_uptime_seconds"
+    ~help:"Seconds since process start (monotonic clock)."
+
+let g_max_rss =
+  Metrics.gauge "process_max_rss_kb"
+    ~help:"Peak resident set size in kilobytes (getrusage)."
+
+let g_gc_major =
+  Metrics.gauge "process_gc_major_words"
+    ~help:"Words allocated in the OCaml major heap since start."
+
+let process_start_ns = Timer.now_ns ()
+
+let refresh_process_gauges () =
+  Metrics.set g_uptime
+    (Int64.to_float (Int64.sub (Timer.now_ns ()) process_start_ns) /. 1e9);
+  Metrics.set g_max_rss (float_of_int (Resource.max_rss_kb ()));
+  Metrics.set g_gc_major (Resource.gc_major_words ())
 
 type config = {
   cache_capacity : int;
@@ -38,16 +75,35 @@ let default_config =
     error_budget = 32;
   }
 
+(* What the access log reports about the request just handled; filled by
+   [handle_request], read back by [handle_line] once the response line
+   (and so its byte count) exists. *)
+type access = {
+  a_meth : string;
+  a_status : string;  (* "ok" or the wire error code *)
+  a_ms : float;
+  a_trace : Trace_context.t option;
+  a_cached : bool option;  (* plan-cache outcome, when the method routed *)
+  a_degraded : bool;  (* the request degraded through the fallback chain *)
+}
+
 type t = {
   config : config;
   cache : Plan_cache.t;
   ws : Router_workspace.t;
   started_ns : int64;
+  session_id : int;
+  inflight_probe : unit -> int;
   mutable served : int;
   mutable consecutive_errors : int;
+  mutable last_cached : bool option;
+  mutable last_access : access option;
 }
 
-let create ?(config = default_config) ?cache () =
+let next_session_id = ref 0
+
+let create ?(config = default_config) ?cache ?(inflight_probe = fun () -> 0)
+    () =
   (* The grid engines register with qr_route itself; completing the
      registry here means a server embedded without the umbrella still
      serves ats/ats-serial (idempotent). *)
@@ -57,13 +113,18 @@ let create ?(config = default_config) ?cache () =
     | Some c -> c
     | None -> Plan_cache.create ~capacity:config.cache_capacity ()
   in
+  incr next_session_id;
   {
     config;
     cache;
     ws = Router_workspace.create ();
     started_ns = Timer.now_ns ();
+    session_id = !next_session_id;
+    inflight_probe;
     served = 0;
     consecutive_errors = 0;
+    last_cached = None;
+    last_access = None;
   }
 
 let config t = t.config
@@ -140,18 +201,22 @@ let routed t grid pi engine config =
       Metrics.incr c_cache_errors;
       None
   in
-  match hit with
-  | None -> compute ()
-  | Some sched when not t.config.verify -> (sched, true)
-  | Some sched -> (
-      match
-        Router_registry.validate (Router_intf.Grid_input (grid, pi)) sched
-      with
-      | Ok () -> (sched, true)
-      | Error _ ->
-          Metrics.incr c_cache_invalid;
-          Plan_cache.remove t.cache key;
-          compute ())
+  let ((_, cached) as result) =
+    match hit with
+    | None -> compute ()
+    | Some sched when not t.config.verify -> (sched, true)
+    | Some sched -> (
+        match
+          Router_registry.validate (Router_intf.Grid_input (grid, pi)) sched
+        with
+        | Ok () -> (sched, true)
+        | Error _ ->
+            Metrics.incr c_cache_invalid;
+            Plan_cache.remove t.cache key;
+            compute ())
+  in
+  t.last_cached <- Some cached;
+  result
 
 let do_route t deadline params =
   let* grid = parse_grid params in
@@ -275,6 +340,16 @@ let do_transpile t deadline params =
          ("swap_layers", Json.Int result.Transpile.swap_layers);
        ])
 
+let cache_json t =
+  Json.Obj
+    [
+      ("size", Json.Int (Plan_cache.length t.cache));
+      ("capacity", Json.Int (Plan_cache.capacity t.cache));
+      ("hits", Json.Int (Plan_cache.hits t.cache));
+      ("misses", Json.Int (Plan_cache.misses t.cache));
+      ("evictions", Json.Int (Plan_cache.evictions t.cache));
+    ]
+
 let health t =
   let uptime_ns = Int64.sub (Timer.now_ns ()) t.started_ns in
   let degraded = Router_registry.degradations () > 0 in
@@ -290,17 +365,23 @@ let health t =
           ] );
       ("faults_armed", Json.Bool (Fault.armed ()));
       ("requests", Json.Int t.served);
+      ("inflight", Json.Int (t.inflight_probe ()));
       ("uptime_s", Json.Float (Int64.to_float uptime_ns /. 1e9));
+      ("uptime_ms", Json.Float (Int64.to_float uptime_ns /. 1e6));
       ("engines", Json.Int (List.length (Router_registry.names ())));
-      ( "plan_cache",
-        Json.Obj
-          [
-            ("size", Json.Int (Plan_cache.length t.cache));
-            ("capacity", Json.Int (Plan_cache.capacity t.cache));
-            ("hits", Json.Int (Plan_cache.hits t.cache));
-            ("misses", Json.Int (Plan_cache.misses t.cache));
-            ("evictions", Json.Int (Plan_cache.evictions t.cache));
-          ] );
+      ("plan_cache", cache_json t);
+    ]
+
+(* One-call operational snapshot: health + cache + full metrics registry
+   (process gauges refreshed), for [qroute stats] and dashboards that
+   want a single poll. *)
+let stats t =
+  refresh_process_gauges ();
+  Json.Obj
+    [
+      ("health", health t);
+      ("plan_cache", cache_json t);
+      ("metrics", Metrics.to_json ());
     ]
 
 let dispatch t deadline meth params =
@@ -310,7 +391,10 @@ let dispatch t deadline meth params =
   | "transpile" -> do_transpile t deadline params
   | "engines" -> Ok (P.engines_json ())
   | "health" -> Ok (health t)
-  | "metrics" -> Ok (Metrics.to_json ())
+  | "metrics" ->
+      refresh_process_gauges ();
+      Ok (Metrics.to_json ())
+  | "stats" -> Ok (stats t)
   | m ->
       raise
         (Unknown_method
@@ -324,7 +408,9 @@ let handle_request t (req : P.request) =
   Metrics.incr c_requests;
   let timer = Timer.start () in
   let deadline = Deadline.of_budget_ms req.deadline_ms in
-  let result =
+  t.last_cached <- None;
+  let degradations_before = Router_registry.degradations () in
+  let run () =
     Trace.with_span "serve_request"
       ~attrs:[ ("method", Trace.String req.meth) ]
     @@ fun () ->
@@ -359,32 +445,112 @@ let handle_request t (req : P.request) =
           (P.error P.Internal_error
              ("unexpected exception: " ^ Printexc.to_string exn))
   in
-  Metrics.observe h_request_ms (Timer.elapsed_s timer *. 1000.);
+  (* Adopt the caller's trace context for the duration of the request:
+     every span opened below serve_request — engine phases, cache
+     lookups, the degraded_to attribute — carries the caller's trace_id
+     in the exported trace. *)
+  let result =
+    match req.trace with
+    | None -> run ()
+    | Some tc ->
+        let prev = Trace.trace_id () in
+        Trace.set_trace_id (Some tc.Trace_context.trace_id);
+        Fun.protect ~finally:(fun () -> Trace.set_trace_id prev) run
+  in
+  let ms = Timer.elapsed_s timer *. 1000. in
+  Metrics.observe h_request_ms ms;
+  let status =
+    match result with Ok _ -> "ok" | Error e -> P.code_to_string e.P.code
+  in
+  t.last_access <-
+    Some
+      {
+        a_meth = req.meth;
+        a_status = status;
+        a_ms = ms;
+        a_trace = req.trace;
+        a_cached = t.last_cached;
+        a_degraded = Router_registry.degradations () > degradations_before;
+      };
   match result with
   | Ok json ->
       t.consecutive_errors <- 0;
-      P.ok_response ~id:req.id json
+      P.ok_response ?trace:req.trace ~server_ms:ms ~id:req.id json
   | Error err ->
       t.consecutive_errors <- t.consecutive_errors + 1;
       Metrics.incr c_errors;
-      P.error_response ~id:req.id err
+      P.error_response ?trace:req.trace ~server_ms:ms ~id:req.id err
+
+(* One line of access log per request line, at Info — the per-connection
+   record operators grep/parse (DESIGN.md §12).  Guarded by [would_log]
+   so the default Warn level pays one comparison and no allocation. *)
+let log_access t ~bytes =
+  if Log.would_log Log.Info then
+    match t.last_access with
+    | None -> ()
+    | Some a ->
+        let fields =
+          [
+            ("session", Json.Int t.session_id);
+            ("method", Json.String a.a_meth);
+            ("status", Json.String a.a_status);
+            ("ms", Json.Float a.a_ms);
+            ("bytes", Json.Int bytes);
+          ]
+        in
+        let fields =
+          match a.a_trace with
+          | None -> fields
+          | Some tc ->
+              fields @ [ ("trace_id", Json.String tc.Trace_context.trace_id) ]
+        in
+        let fields =
+          match a.a_cached with
+          | None -> fields
+          | Some c -> fields @ [ ("cached", Json.Bool c) ]
+        in
+        let fields =
+          if a.a_degraded then fields @ [ ("degraded", Json.Bool true) ]
+          else fields
+        in
+        Log.info "request" fields
+
+let reject t ~meth err =
+  Metrics.incr c_errors;
+  t.consecutive_errors <- t.consecutive_errors + 1;
+  t.last_access <-
+    Some
+      {
+        a_meth = meth;
+        a_status = P.code_to_string err.P.code;
+        a_ms = 0.;
+        a_trace = None;
+        a_cached = None;
+        a_degraded = false;
+      };
+  err
 
 let handle_line t line =
+  t.last_access <- None;
   let response =
     match Json.of_string line with
     | Error msg ->
-        Metrics.incr c_errors;
-        t.consecutive_errors <- t.consecutive_errors + 1;
-        P.error_response ~id:Json.Null (P.error P.Parse_error msg)
+        P.error_response ~id:Json.Null
+          (reject t ~meth:"?" (P.error P.Parse_error msg))
     | Ok json -> (
         match P.request_of_json json with
         | Error err ->
-            Metrics.incr c_errors;
-            t.consecutive_errors <- t.consecutive_errors + 1;
-            P.error_response ~id:(P.request_id json) err
+            let meth =
+              match Json.member "method" json with
+              | Some (Json.String m) -> m
+              | _ -> "?"
+            in
+            P.error_response ~id:(P.request_id json) (reject t ~meth err)
         | Ok req -> handle_request t req)
   in
-  Json.to_string response
+  let rendered = Json.to_string response in
+  log_access t ~bytes:(String.length rendered);
+  rendered
 
 let recovered_id line =
   match Json.of_string line with

@@ -11,7 +11,15 @@
 
     Every request runs inside a [serve_request] trace span (method name
     and outcome as attributes) and bumps the [server_requests] /
-    [server_errors] counters and the [server_request_ms] histogram. *)
+    [server_errors] counters and the [server_request_ms] histogram.
+
+    {b Telemetry plane} (DESIGN.md §12): a request carrying a [trace]
+    context has its trace_id adopted for the duration — every span in
+    the request's tree, including engine phases and degradations, is
+    stamped with it — and the response echoes the context plus a
+    [server_ms] timing field.  {!handle_line} emits one Info-level
+    access-log record per request (method, status, bytes, ms, trace_id,
+    cache outcome, degradation) through {!Qr_obs.Log}. *)
 
 type config = {
   cache_capacity : int;  (** {!Plan_cache} bound (default 128). *)
@@ -38,13 +46,20 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?cache:Plan_cache.t -> unit -> t
+val create :
+  ?config:config ->
+  ?cache:Plan_cache.t ->
+  ?inflight_probe:(unit -> int) ->
+  unit ->
+  t
 (** A fresh session with its own workspace.  [cache] shares a cache
     between sessions (the socket server passes one cache to every
     connection); by default the session creates its own with
-    [config.cache_capacity].  Creation completes the engine registry
-    (registers the token-swapping engines), so a bare [qr_server] link
-    serves the full engine set. *)
+    [config.cache_capacity].  [inflight_probe] supplies the [health]
+    report's [inflight] count (the socket server passes its pending
+    queue length; defaults to [fun () -> 0]).  Creation completes the
+    engine registry (registers the token-swapping engines), so a bare
+    [qr_server] link serves the full engine set. *)
 
 val config : t -> config
 
@@ -59,7 +74,18 @@ val consecutive_errors : t -> int
 
 val handle_request : t -> Protocol.request -> Protocol.Json.t
 (** Dispatch one parsed request to its method handler; always returns a
-    response envelope (errors are encoded, never raised). *)
+    response envelope (errors are encoded, never raised).  The envelope
+    echoes the request's trace context and carries [server_ms]. *)
+
+val stats : t -> Protocol.Json.t
+(** The [stats] method's result: health, plan-cache counters and the
+    full metrics registry (process gauges refreshed) in one snapshot. *)
+
+val refresh_process_gauges : unit -> unit
+(** Update the [process_uptime_seconds] / [process_max_rss_kb] /
+    [process_gc_major_words] gauges from the live process.  Called by
+    the [metrics] and [stats] methods and the [--metrics-file]
+    writer. *)
 
 val handle_line : t -> string -> string
 (** One request line to one response line (no trailing newline): parse,

@@ -1,0 +1,7 @@
+external maxrss : unit -> int64 = "qr_util_maxrss"
+
+let max_rss_kb () = Int64.to_int (maxrss ())
+
+let gc_major_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.major_words

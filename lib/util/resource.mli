@@ -1,0 +1,13 @@
+(** Process resource usage, for the telemetry plane's process gauges.
+
+    A thin C stub over [getrusage(RUSAGE_SELF)]; the serving stack
+    exposes these as [process_*] gauges in metrics snapshots and the
+    Prometheus exposition (DESIGN.md §12). *)
+
+val max_rss_kb : unit -> int
+(** Peak resident set size in kilobytes (0 when the platform cannot
+    report it). *)
+
+val gc_major_words : unit -> float
+(** Words allocated in the OCaml major heap since program start
+    ([Gc.quick_stat]; a word is 8 bytes on 64-bit). *)

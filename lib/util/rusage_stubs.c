@@ -1,0 +1,22 @@
+/* Process resource usage for Qr_util.Resource.
+
+   getrusage(RUSAGE_SELF) is POSIX but not exposed by OCaml's Unix
+   library; the telemetry plane's process gauges (max RSS) need it.
+   ru_maxrss is reported in kilobytes on Linux and in bytes on macOS —
+   the OCaml side normalizes to kilobytes. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <sys/resource.h>
+
+CAMLprim value qr_util_maxrss(value unit)
+{
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return caml_copy_int64(0);
+#if defined(__APPLE__)
+  return caml_copy_int64((int64_t)ru.ru_maxrss / 1024);
+#else
+  return caml_copy_int64((int64_t)ru.ru_maxrss);
+#endif
+}

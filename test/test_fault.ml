@@ -6,6 +6,8 @@
 module Json = Qr_obs.Json
 module Metrics = Qr_obs.Metrics
 module Trace = Qr_obs.Trace
+module Trace_context = Qr_obs.Trace_context
+module Log = Qr_obs.Log
 module Rng = Qr_util.Rng
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
@@ -815,6 +817,184 @@ let test_client_recovers_via_retry () =
           Alcotest.failf "transport failure despite retries: %s" msg);
       checki "both injected failures consumed" 2 (Fault.fires "client.connect")
 
+(* ------------------------------------------------------------- telemetry *)
+
+let tp_example = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+let tid_example = "0123456789abcdef0123456789abcdef"
+
+let traced_evil_route_line ?(id = 1) pi =
+  Printf.sprintf
+    {|{"id": %d, "method": "route", "params": {"grid": {"rows": 3, "cols": 3}, "perm": %s, "engine": "evil"}, "trace": "%s"}|}
+    id
+    (Json.to_string (P.perm_to_json pi))
+    tp_example
+
+let test_degraded_request_trace_correlation () =
+  (* The acceptance scenario: a request naming the broken engine degrades
+     through the verification ladder, and the caller's trace_id still
+     reaches (a) every span of the request tree, (b) the access-log
+     record — which also flags the degradation — and (c) the echoed
+     response envelope. *)
+  with_clean_sinks @@ fun () ->
+  let captured = ref [] in
+  Log.set_sink (Some (fun line -> captured := line :: !captured));
+  Log.set_level Log.Info;
+  Log.set_format Log.Json;
+  let finally () =
+    Log.set_sink None;
+    Log.set_level Log.Warn;
+    Log.set_format Log.Logfmt
+  in
+  Fun.protect ~finally @@ fun () ->
+  let session = Session.create ~config:verify_config () in
+  Trace.start ();
+  let response = Session.handle_line session (traced_evil_route_line rev9) in
+  let spans = Trace.stop () in
+  (* (a) spans: the whole tree — including the degraded re-route — is
+     stamped with the caller's trace_id. *)
+  checkb "spans recorded" true (List.length spans > 0);
+  List.iter
+    (fun (s : Trace.span) ->
+      checkb (s.Trace.name ^ " carries trace_id") true
+        (List.assoc_opt "trace_id" s.Trace.attrs
+        = Some (Trace.String tid_example)))
+    spans;
+  checkb "degraded re-route traced" true
+    (List.exists
+       (fun (s : Trace.span) -> List.mem_assoc "degraded_to" s.Trace.attrs)
+       spans);
+  (* (b) access log: degraded flag and trace_id on the same record. *)
+  let access =
+    List.rev_map Json.of_string_exn !captured
+    |> List.filter (fun doc ->
+           Json.member "msg" doc = Some (Json.String "request"))
+  in
+  (match access with
+  | [ record ] ->
+      checkb "access trace_id" true
+        (Json.member "trace_id" record = Some (Json.String tid_example));
+      checkb "access degraded flag" true
+        (Json.member "degraded" record = Some (Json.Bool true));
+      checkb "access status ok" true
+        (Json.member "status" record = Some (Json.String "ok"))
+  | other -> Alcotest.failf "expected 1 access record, got %d" (List.length other));
+  (* (c) envelope: trace echoed, schedule still correct. *)
+  let doc = Json.of_string_exn response in
+  checkb "trace echoed" true
+    (Json.member "trace" doc = Some (Json.String tp_example));
+  match Schedule.of_json (member_exn "schedule" (result_of response)) with
+  | Ok sched -> checkb "rescued realizes" true (Schedule.realizes ~n:9 sched rev9)
+  | Error msg -> Alcotest.failf "bad schedule json: %s" msg
+
+let test_chaos_socket_trace_roundtrip () =
+  (* Full-stack correlation through a real socket under a chaos plan: a
+     forked server (access log to a temp file, plan inherited across the
+     fork) degrades the first route, and the client's trace context comes
+     back in the envelope and lands in the server's access log. *)
+  let tag = Printf.sprintf "qr_trace_test_%d" (Unix.getpid ()) in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock") in
+  let log_path = Filename.temp_file tag ".log" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  with_plan "engine.plan=raise#1" @@ fun () ->
+  match Unix.fork () with
+  | 0 ->
+      (try
+         let log = Unix.openfile log_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+         Unix.dup2 log Unix.stderr;
+         Log.set_level Log.Info;
+         Log.set_format Log.Json;
+         Server.run_socket ~config:verify_config ~path ()
+       with _ -> ());
+      Unix._exit 0
+  | child ->
+      let finally () =
+        (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        try Sys.remove log_path with Sys_error _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      let rec await tries =
+        if tries = 0 then Alcotest.fail "server socket never appeared";
+        if not (Sys.file_exists path) then begin
+          Unix.sleepf 0.02;
+          await (tries - 1)
+        end
+      in
+      await 250;
+      let trace = Result.get_ok (Trace_context.of_traceparent tp_example) in
+      let request =
+        P.request ~id:(Json.Int 1) ~trace ~meth:"route"
+          (Json.Obj
+             [
+               ("grid", P.grid_to_json grid3);
+               ("perm", P.perm_to_json rev9);
+               ("engine", Json.String "local");
+             ])
+      in
+      (match Client.rpc_retry ~retry:(fast_retry 4) ~path request with
+      | Client.Response envelope ->
+          (* Trace echoed through the wire... *)
+          (match P.response_trace envelope with
+          | Some t ->
+              checks "trace_id round-trips" tid_example t.Trace_context.trace_id
+          | None -> Alcotest.fail "response lost the trace context");
+          checkb "server_ms on the wire" true
+            (P.response_server_ms envelope <> None);
+          (match P.response_result envelope with
+          | Ok result -> (
+              match Schedule.of_json (member_exn "schedule" result) with
+              | Ok sched ->
+                  checkb "degraded schedule realizes" true
+                    (Schedule.realizes ~n:9 sched rev9)
+              | Error msg -> Alcotest.failf "bad schedule json: %s" msg)
+          | Error err -> Alcotest.failf "server error: %s" err.P.message)
+      | Client.Server_error (err, _) ->
+          Alcotest.failf "server error: %s" err.P.message
+      | Client.Transport_failure msg ->
+          Alcotest.failf "transport failure: %s" msg);
+      (* A second request with no explicit context: the client mints one
+         and the server still echoes something well-formed. *)
+      let bare = P.request ~id:(Json.Int 2) ~meth:"health" (Json.Obj []) in
+      (match Client.rpc_retry ~retry:(fast_retry 4) ~path bare with
+      | Client.Response envelope ->
+          checkb "client-minted trace echoed" true
+            (P.response_trace envelope <> None)
+      | _ -> Alcotest.fail "health request failed");
+      (* ...and into the forked server's access log. *)
+      (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] child);
+      let log_lines =
+        In_channel.with_open_text log_path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let access =
+        List.filter_map
+          (fun line ->
+            match Json.of_string line with
+            | Ok doc
+              when Json.member "msg" doc = Some (Json.String "request") ->
+                Some doc
+            | _ -> None)
+          log_lines
+      in
+      checkb "two access records" true (List.length access = 2);
+      let routed =
+        List.find_opt
+          (fun doc ->
+            Json.member "method" doc = Some (Json.String "route"))
+          access
+      in
+      (match routed with
+      | Some record ->
+          checkb "access log carries the caller's trace_id" true
+            (Json.member "trace_id" record
+            = Some (Json.String tid_example));
+          checkb "access log flags the degradation" true
+            (Json.member "degraded" record = Some (Json.Bool true))
+      | None -> Alcotest.fail "no route access record in the server log")
+
 let () =
   Alcotest.run "qr_fault"
     [
@@ -901,6 +1081,13 @@ let () =
             Alcotest.test_case "mixed-fault soak" `Quick
               test_chaos_soak_mixed_faults;
           ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "degraded request trace correlation" `Quick
+            test_degraded_request_trace_correlation;
+          Alcotest.test_case "socket trace round-trip under chaos" `Quick
+            test_chaos_socket_trace_roundtrip;
+        ] );
       ( "client",
         [
           Alcotest.test_case "retryable classification" `Quick

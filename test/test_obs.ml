@@ -404,6 +404,259 @@ let test_metrics_to_json () =
       | None -> Alcotest.fail "missing t_json_hist")
   | None -> Alcotest.fail "missing histograms"
 
+(* ----------------------------------------------------------- exposition *)
+
+(* The exposition is line-oriented; index it as such. *)
+let prom_lines () = String.split_on_char '\n' (Metrics.to_prometheus ())
+
+let has_line lines l = List.mem l lines
+
+let test_prometheus_counter_gauge () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let c = Metrics.counter ~help:"A test counter." "t_prom_counter" in
+  let g = Metrics.gauge "t_prom_gauge" in
+  let _unset = Metrics.gauge "t_prom_gauge_unset" in
+  Metrics.add c 7;
+  Metrics.set g 2.5;
+  let lines = prom_lines () in
+  checkb "help line" true (has_line lines "# HELP t_prom_counter A test counter.");
+  checkb "type line" true (has_line lines "# TYPE t_prom_counter counter");
+  checkb "counter sample" true (has_line lines "t_prom_counter 7");
+  checkb "gauge type" true (has_line lines "# TYPE t_prom_gauge gauge");
+  checkb "gauge sample" true (has_line lines "t_prom_gauge 2.5");
+  checkb "unset gauge omitted" true
+    (not
+       (List.exists
+          (fun l ->
+            String.length l >= 17 && String.sub l 0 17 = "t_prom_gauge_unset")
+          lines))
+
+let test_prometheus_histogram_cumulative () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.5; 4.0 |] "t_prom_hist" in
+  (* 1.0 lands exactly on a bound (inclusive); 9.0 only in the overflow. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 3.0; 9.0 ];
+  let lines = prom_lines () in
+  checkb "type histogram" true (has_line lines "# TYPE t_prom_hist histogram");
+  (* Cumulative: le=1 holds 0.5 and the exactly-on-bound 1.0. *)
+  checkb "le=1" true (has_line lines "t_prom_hist_bucket{le=\"1\"} 2");
+  checkb "le=2.5" true (has_line lines "t_prom_hist_bucket{le=\"2.5\"} 2");
+  checkb "le=4" true (has_line lines "t_prom_hist_bucket{le=\"4\"} 3");
+  checkb "le=+Inf is total" true
+    (has_line lines "t_prom_hist_bucket{le=\"+Inf\"} 4");
+  checkb "sum" true (has_line lines "t_prom_hist_sum 13.5");
+  checkb "count" true (has_line lines "t_prom_hist_count 4")
+
+let test_prometheus_empty_histogram () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let _h = Metrics.histogram ~buckets:[| 0.5; 8.0 |] "t_prom_empty" in
+  let lines = prom_lines () in
+  (* An unobserved histogram still exposes its full shape, all zeroes —
+     scrapers need the series to exist before the first event. *)
+  checkb "le=0.5 zero" true (has_line lines "t_prom_empty_bucket{le=\"0.5\"} 0");
+  checkb "le=8 zero" true (has_line lines "t_prom_empty_bucket{le=\"8\"} 0");
+  checkb "+Inf zero" true (has_line lines "t_prom_empty_bucket{le=\"+Inf\"} 0");
+  checkb "sum zero" true (has_line lines "t_prom_empty_sum 0");
+  checkb "count zero" true (has_line lines "t_prom_empty_count 0")
+
+let test_latency_buckets_shape () =
+  (* Strictly increasing, sub-millisecond resolution at the bottom,
+     seconds at the top — the contract the *_ms histograms rely on. *)
+  let b = Metrics.latency_buckets in
+  checkb "first is sub-ms" true (b.(0) < 1.0);
+  checkb "last is seconds" true (b.(Array.length b - 1) >= 10_000.0);
+  let increasing = ref true in
+  for k = 1 to Array.length b - 1 do
+    if not (b.(k) > b.(k - 1)) then increasing := false
+  done;
+  checkb "strictly increasing" true !increasing
+
+(* -------------------------------------------------------- Trace_context *)
+
+module Trace_context = Qr_obs.Trace_context
+
+let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let test_trace_context_mint () =
+  let t = Trace_context.mint () in
+  checki "trace_id width" 32 (String.length t.Trace_context.trace_id);
+  checki "parent_id width" 16 (String.length t.Trace_context.parent_id);
+  checkb "trace_id hex" true (is_hex t.Trace_context.trace_id);
+  checkb "parent_id hex" true (is_hex t.Trace_context.parent_id);
+  checkb "distinct mints" true
+    (not (Trace_context.equal t (Trace_context.mint ())))
+
+let test_trace_context_seeded () =
+  Trace_context.seed 42;
+  let a = Trace_context.mint () in
+  Trace_context.seed 42;
+  let b = Trace_context.mint () in
+  checkb "seeded mint deterministic" true (Trace_context.equal a b)
+
+let test_trace_context_roundtrip () =
+  let t = Trace_context.mint () in
+  let tp = Trace_context.to_traceparent t in
+  checki "traceparent width" 55 (String.length tp);
+  (match Trace_context.of_traceparent tp with
+  | Ok t' -> checkb "roundtrip" true (Trace_context.equal t t')
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg);
+  let child = Trace_context.child t in
+  checks "child keeps trace_id" t.Trace_context.trace_id
+    child.Trace_context.trace_id;
+  checkb "child renames parent" true
+    (child.Trace_context.parent_id <> t.Trace_context.parent_id)
+
+let test_trace_context_rejects () =
+  let bad tp = Result.is_error (Trace_context.of_traceparent tp) in
+  checkb "garbage" true (bad "nope");
+  checkb "bad version" true
+    (bad "01-0123456789abcdef0123456789abcdef-0123456789abcdef-01");
+  checkb "short trace_id" true (bad "00-0123-0123456789abcdef-01");
+  checkb "uppercase rejected" true
+    (bad "00-0123456789ABCDEF0123456789abcdef-0123456789abcdef-01");
+  checkb "non-hex" true
+    (bad "00-0123456789abcdex0123456789abcdef-0123456789abcdef-01");
+  checkb "all-zero trace_id" true
+    (bad "00-00000000000000000000000000000000-0123456789abcdef-01");
+  checkb "all-zero parent" true
+    (bad "00-0123456789abcdef0123456789abcdef-0000000000000000-01");
+  checkb "make validates too" true
+    (Result.is_error
+       (Trace_context.make ~trace_id:"zz" ~parent_id:"0123456789abcdef"))
+
+let test_trace_spans_carry_trace_id () =
+  with_clean_sinks @@ fun () ->
+  Fun.protect ~finally:(fun () -> Trace.set_trace_id None) @@ fun () ->
+  let id = "0123456789abcdef0123456789abcdef" in
+  Trace.set_trace_id (Some id);
+  Trace.start ();
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" ~attrs:[ ("k", Trace.Int 1) ] (fun () -> ()));
+  let stamped = Trace.stop () in
+  checki "two spans" 2 (List.length stamped);
+  List.iter
+    (fun (s : Trace.span) ->
+      checkb (s.Trace.name ^ " stamped") true
+        (List.mem_assoc "trace_id" s.Trace.attrs
+        && List.assoc "trace_id" s.Trace.attrs = Trace.String id))
+    stamped;
+  (* The given attrs survive alongside the stamp. *)
+  let inner = List.find (fun (s : Trace.span) -> s.Trace.name = "inner") stamped in
+  checkb "own attr kept" true
+    (List.assoc_opt "k" inner.Trace.attrs = Some (Trace.Int 1));
+  (* And with the context cleared, spans are unstamped again. *)
+  Trace.set_trace_id None;
+  Trace.start ();
+  Trace.with_span "bare" (fun () -> ());
+  match Trace.stop () with
+  | [ s ] -> checkb "no stamp" true (not (List.mem_assoc "trace_id" s.Trace.attrs))
+  | other -> Alcotest.failf "expected one span, got %d" (List.length other)
+
+let test_trace_summary_alignment () =
+  with_clean_sinks @@ fun () ->
+  Trace.start ();
+  Trace.with_span "a_span_name_much_longer_than_the_default_column" (fun () ->
+      Trace.with_span "tiny" (fun () -> ()));
+  let table = Trace.summary_table (Trace.stop ()) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' table)
+  in
+  checkb "several lines" true (List.length lines >= 3);
+  (* Dynamic name padding: every rendered line has the same width, so
+     the numeric columns line up even with long span names. *)
+  match lines with
+  | first :: rest ->
+      let w = String.length first in
+      List.iter
+        (fun l -> checki ("line width of " ^ String.trim l) w (String.length l))
+        rest
+  | [] -> Alcotest.fail "empty table"
+
+(* ------------------------------------------------------------------ Log *)
+
+module Log = Qr_obs.Log
+
+let has_substring ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+(* Capture records in memory and restore global log state afterwards. *)
+let with_log_capture ?(level = Log.Debug) ?(format = Log.Json) f =
+  let captured = ref [] in
+  Log.set_sink (Some (fun line -> captured := line :: !captured));
+  Log.set_level level;
+  Log.set_format format;
+  let finally () =
+    Log.set_sink None;
+    Log.set_level Log.Warn;
+    Log.set_format Log.Logfmt
+  in
+  Fun.protect ~finally (fun () -> f captured)
+
+let test_log_json_record () =
+  with_log_capture @@ fun captured ->
+  Log.info "hello" [ ("k", Json.Int 3); ("s", Json.String "v") ];
+  match !captured with
+  | [ line ] -> (
+      match Json.of_string line with
+      | Ok doc ->
+          checkb "level field" true
+            (Json.member "level" doc = Some (Json.String "info"));
+          checkb "msg field" true
+            (Json.member "msg" doc = Some (Json.String "hello"));
+          checkb "kv int" true (Json.member "k" doc = Some (Json.Int 3));
+          checkb "ts_ms present" true
+            (match Json.member "ts_ms" doc with
+            | Some (Json.Float ms) -> ms >= 0.
+            | _ -> false)
+      | Error msg -> Alcotest.failf "record is not JSON: %s" msg)
+  | other -> Alcotest.failf "expected 1 record, got %d" (List.length other)
+
+let test_log_logfmt_record () =
+  with_log_capture ~format:Log.Logfmt @@ fun captured ->
+  Log.warn "spaced message" [ ("plain", Json.String "bare"); ("n", Json.Int 2) ];
+  match !captured with
+  | [ line ] ->
+      checkb "level" true
+        (has_substring ~affix:"level=warn" line);
+      checkb "quoted msg" true
+        (has_substring ~affix:"msg=\"spaced message\"" line);
+      checkb "bare value" true
+        (has_substring ~affix:"plain=bare" line);
+      checkb "int value" true (has_substring ~affix:"n=2" line)
+  | other -> Alcotest.failf "expected 1 record, got %d" (List.length other)
+
+let test_log_level_filter () =
+  with_log_capture ~level:Log.Warn @@ fun captured ->
+  checkb "would_log error" true (Log.would_log Log.Error);
+  checkb "would not log info" true (not (Log.would_log Log.Info));
+  Log.debug "dropped" [];
+  Log.info "dropped" [];
+  Log.error "kept" [];
+  checki "only the error got through" 1 (List.length !captured)
+
+let test_log_warn_once () =
+  with_log_capture @@ fun captured ->
+  Log.reset_once ();
+  Log.warn_once ~key:"k1" "first" [];
+  Log.warn_once ~key:"k1" "suppressed" [];
+  Log.warn_once ~key:"k2" "other key" [];
+  checki "two records" 2 (List.length !captured);
+  Log.reset_once ();
+  Log.warn_once ~key:"k1" "after reset" [];
+  checki "reset re-arms" 3 (List.length !captured)
+
+let test_log_level_parse () =
+  checkb "info" true (Log.level_of_string "INFO" = Ok Log.Info);
+  checkb "warning alias" true (Log.level_of_string "warning" = Ok Log.Warn);
+  checkb "bad" true (Result.is_error (Log.level_of_string "loud"));
+  checkb "json" true (Log.format_of_string "json" = Ok Log.Json);
+  checkb "bad format" true (Result.is_error (Log.format_of_string "xml"))
+
 (* ---------------------------------------------- instrumented routing run *)
 
 let test_routed_counters_consistent () =
@@ -464,6 +717,25 @@ let () =
           Alcotest.test_case "stop clears" `Quick test_trace_stop_clears;
           Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
           Alcotest.test_case "summary" `Quick test_trace_summary;
+          Alcotest.test_case "spans carry trace_id" `Quick
+            test_trace_spans_carry_trace_id;
+          Alcotest.test_case "summary alignment" `Quick
+            test_trace_summary_alignment;
+        ] );
+      ( "trace-context",
+        [
+          Alcotest.test_case "mint" `Quick test_trace_context_mint;
+          Alcotest.test_case "seeded" `Quick test_trace_context_seeded;
+          Alcotest.test_case "roundtrip" `Quick test_trace_context_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_trace_context_rejects;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "json record" `Quick test_log_json_record;
+          Alcotest.test_case "logfmt record" `Quick test_log_logfmt_record;
+          Alcotest.test_case "level filter" `Quick test_log_level_filter;
+          Alcotest.test_case "warn once" `Quick test_log_warn_once;
+          Alcotest.test_case "level parse" `Quick test_log_level_parse;
         ] );
       ( "metrics",
         [
@@ -476,6 +748,14 @@ let () =
           Alcotest.test_case "default buckets" `Quick
             test_metrics_default_buckets;
           Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+          Alcotest.test_case "prometheus scalars" `Quick
+            test_prometheus_counter_gauge;
+          Alcotest.test_case "prometheus cumulative" `Quick
+            test_prometheus_histogram_cumulative;
+          Alcotest.test_case "prometheus empty histogram" `Quick
+            test_prometheus_empty_histogram;
+          Alcotest.test_case "latency buckets" `Quick
+            test_latency_buckets_shape;
         ] );
       ( "routing",
         [

@@ -5,6 +5,8 @@
 module Json = Qr_obs.Json
 module Metrics = Qr_obs.Metrics
 module Trace = Qr_obs.Trace
+module Trace_context = Qr_obs.Trace_context
+module Log = Qr_obs.Log
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
 module Schedule = Qr_route.Schedule
@@ -481,6 +483,220 @@ let test_overloaded_response_line () =
   checkb "null id for junk" true
     (Json.member "id" (Json.of_string_exn junk) = Some Json.Null)
 
+(* ------------------------------------------------------ telemetry plane *)
+
+let tp_example = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+let tid_example = "0123456789abcdef0123456789abcdef"
+
+let test_protocol_trace_codec () =
+  (* Envelope round-trip with a trace context attached. *)
+  let trace = Result.get_ok (Trace_context.of_traceparent tp_example) in
+  let req =
+    P.request ~id:(Json.Int 1) ~trace ~meth:"health" (Json.Obj [])
+  in
+  let json = P.request_to_json req in
+  checkb "trace field rendered" true
+    (Json.member "trace" json = Some (Json.String tp_example));
+  (match P.request_of_json json with
+  | Ok again ->
+      checkb "trace round-trips" true
+        (match again.P.trace with
+        | Some t -> Trace_context.equal t trace
+        | None -> false)
+  | Error err -> Alcotest.failf "round-trip rejected: %s" err.P.message);
+  (* Malformed trace strings are invalid_request, not silently dropped. *)
+  let rejected text =
+    match P.request_of_json (Json.of_string_exn text) with
+    | Error { P.code = P.Invalid_request; _ } -> true
+    | _ -> false
+  in
+  checkb "garbage trace" true
+    (rejected {|{"method": "health", "trace": "zz"}|});
+  checkb "all-zero trace" true
+    (rejected
+       {|{"method": "health", "trace": "00-00000000000000000000000000000000-0123456789abcdef-01"}|});
+  checkb "non-string trace" true
+    (rejected {|{"method": "health", "trace": 7}|})
+
+let test_response_trace_meta () =
+  let trace = Result.get_ok (Trace_context.of_traceparent tp_example) in
+  let resp =
+    P.ok_response ~trace ~server_ms:1.25 ~id:(Json.Int 1) (Json.Bool true)
+  in
+  (match P.response_trace resp with
+  | Some t -> checkb "trace decodes" true (Trace_context.equal t trace)
+  | None -> Alcotest.fail "missing trace on response");
+  checkb "server_ms decodes" true (P.response_server_ms resp = Some 1.25);
+  (* Error responses carry the same metadata. *)
+  let err =
+    P.error_response ~trace ~server_ms:0.5 ~id:Json.Null
+      (P.error P.Overloaded "full")
+  in
+  checkb "error response trace" true (P.response_trace err <> None);
+  (* And both fields are optional. *)
+  let bare = P.ok_response ~id:(Json.Int 1) (Json.Bool true) in
+  checkb "no trace by default" true (P.response_trace bare = None);
+  checkb "no server_ms by default" true (P.response_server_ms bare = None)
+
+let traced_route_line ?(id = 1) () =
+  Printf.sprintf
+    {|{"id": %d, "method": "route", "params": {"grid": {"rows": 3, "cols": 3}, "perm": [8,7,6,5,4,3,2,1,0], "engine": "local"}, "trace": "%s"}|}
+    id tp_example
+
+let test_session_trace_echo () =
+  (* Tentpole acceptance: the caller's trace context comes back in the
+     envelope, a server_ms timing rides along, and every span of the
+     request tree is stamped with the trace_id. *)
+  with_clean_sinks @@ fun () ->
+  let session = Session.create () in
+  Trace.start ();
+  let response = Session.handle_line session (traced_route_line ()) in
+  let spans = Trace.stop () in
+  let doc = Json.of_string_exn response in
+  checkb "trace echoed verbatim" true
+    (Json.member "trace" doc = Some (Json.String tp_example));
+  (match P.response_server_ms doc with
+  | Some ms -> checkb "server_ms nonnegative" true (ms >= 0.)
+  | None -> Alcotest.fail "missing server_ms");
+  checkb "spans recorded" true (List.length spans > 0);
+  List.iter
+    (fun (s : Trace.span) ->
+      checkb (s.Trace.name ^ " carries trace_id") true
+        (List.assoc_opt "trace_id" s.Trace.attrs
+        = Some (Trace.String tid_example)))
+    spans;
+  (* The adoption is scoped to the request: a traceless request after it
+     produces unstamped spans. *)
+  Trace.start ();
+  ignore (Session.handle_line session (route_line ~id:2 ()));
+  let after = Trace.stop () in
+  checkb "context restored" true
+    (List.for_all
+       (fun (s : Trace.span) ->
+         not (List.mem_assoc "trace_id" s.Trace.attrs))
+       after)
+
+(* Capture access-log records; restores global log state afterwards. *)
+let with_access_log f =
+  let captured = ref [] in
+  Log.set_sink (Some (fun line -> captured := line :: !captured));
+  Log.set_level Log.Info;
+  Log.set_format Log.Json;
+  let finally () =
+    Log.set_sink None;
+    Log.set_level Log.Warn;
+    Log.set_format Log.Logfmt
+  in
+  Fun.protect ~finally (fun () -> f captured)
+
+let access_records captured =
+  List.rev_map Json.of_string_exn !captured
+  |> List.filter (fun doc ->
+         Json.member "msg" doc = Some (Json.String "request"))
+
+let test_session_access_log () =
+  with_clean_sinks @@ fun () ->
+  with_access_log @@ fun captured ->
+  let session = Session.create () in
+  let response = Session.handle_line session (traced_route_line ()) in
+  ignore (Session.handle_line session "not json");
+  match access_records captured with
+  | [ ok_rec; err_rec ] ->
+      checkb "method" true
+        (Json.member "method" ok_rec = Some (Json.String "route"));
+      checkb "status ok" true
+        (Json.member "status" ok_rec = Some (Json.String "ok"));
+      checkb "trace_id correlates" true
+        (Json.member "trace_id" ok_rec = Some (Json.String tid_example));
+      checkb "cache outcome" true
+        (Json.member "cached" ok_rec = Some (Json.Bool false));
+      checkb "bytes is the response length" true
+        (Json.member "bytes" ok_rec
+        = Some (Json.Int (String.length response)));
+      checkb "ms nonnegative" true
+        (match Json.member "ms" ok_rec with
+        | Some (Json.Float ms) -> ms >= 0.
+        | _ -> false);
+      checkb "parse error logged" true
+        (Json.member "status" err_rec = Some (Json.String "parse_error"));
+      checkb "unparsed method is ?" true
+        (Json.member "method" err_rec = Some (Json.String "?"))
+  | other -> Alcotest.failf "expected 2 access records, got %d" (List.length other)
+
+let test_session_health_telemetry () =
+  let session = Session.create ~inflight_probe:(fun () -> 5) () in
+  let health =
+    result_of (Session.handle_line session {|{"id": 1, "method": "health"}|})
+  in
+  checkb "uptime_ms" true
+    (match member_exn "uptime_ms" health with
+    | Json.Float ms -> ms >= 0.
+    | _ -> false);
+  checkb "inflight from probe" true
+    (member_exn "inflight" health = Json.Int 5);
+  (match member_exn "plan_cache" health with
+  | pc ->
+      checkb "hits" true (Json.member "hits" pc <> None);
+      checkb "misses" true (Json.member "misses" pc <> None);
+      checkb "evictions" true (Json.member "evictions" pc <> None))
+
+let test_session_stats_method () =
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let session = Session.create () in
+  ignore (Session.handle_line session (route_line ()));
+  let stats =
+    result_of (Session.handle_line session {|{"id": 2, "method": "stats"}|})
+  in
+  let health = member_exn "health" stats in
+  checkb "health inside" true (Json.member "status" health <> None);
+  checkb "plan_cache inside" true
+    (match member_exn "plan_cache" stats with
+    | pc -> member_exn "misses" pc = Json.Int 1);
+  let metrics = member_exn "metrics" stats in
+  checkb "metrics inside" true (Json.member "counters" metrics <> None);
+  (* The stats call refreshes the process gauges. *)
+  (match Json.member "gauges" metrics with
+  | Some gauges ->
+      checkb "process uptime gauge" true
+        (match Json.member "process_uptime_seconds" gauges with
+        | Some (Json.Float s) -> s >= 0.
+        | _ -> false);
+      checkb "rss gauge" true
+        (match Json.member "process_max_rss_kb" gauges with
+        | Some (Json.Float kb) -> kb > 0.
+        | _ -> false)
+  | None -> Alcotest.fail "missing gauges")
+
+let test_metrics_file_snapshot () =
+  (* The stdio loop writes a parseable Prometheus exposition at EOF. *)
+  with_clean_sinks @@ fun () ->
+  Metrics.enable ();
+  let path = Filename.temp_file "qr_metrics" ".prom" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let req_read, req_write = Unix.pipe ~cloexec:false () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+  let reqs = Unix.out_channel_of_descr req_write in
+  output_string reqs (route_line () ^ "\n");
+  close_out reqs;
+  let ic = Unix.in_channel_of_descr req_read in
+  let oc = Unix.out_channel_of_descr resp_write in
+  Server.serve_channels ~metrics_file:path ic oc;
+  close_out oc;
+  close_in ic;
+  let responses = Unix.in_channel_of_descr resp_read in
+  ignore (input_line responses);
+  close_in responses;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  let lines = String.split_on_char '\n' content in
+  checkb "histogram type line" true
+    (List.mem "# TYPE server_request_ms histogram" lines);
+  checkb "requests counted" true (List.mem "server_requests 1" lines);
+  checkb "cumulative +Inf present" true
+    (List.mem "server_request_ms_bucket{le=\"+Inf\"} 1" lines);
+  checkb "no torn tmp file left" true (not (Sys.file_exists (path ^ ".tmp")))
+
 (* --------------------------------------------------------- serving loop *)
 
 let serve_script lines =
@@ -555,6 +771,9 @@ let () =
           Alcotest.test_case "perm codec" `Quick test_perm_codec;
           Alcotest.test_case "config codec" `Quick test_config_codec;
           Alcotest.test_case "engines payload" `Quick test_engines_json;
+          Alcotest.test_case "trace codec" `Quick test_protocol_trace_codec;
+          Alcotest.test_case "response trace metadata" `Quick
+            test_response_trace_meta;
         ] );
       ( "plan_cache",
         [
@@ -588,10 +807,18 @@ let () =
           Alcotest.test_case "shared cache" `Quick test_session_shared_cache;
           Alcotest.test_case "overloaded line" `Quick
             test_overloaded_response_line;
+          Alcotest.test_case "trace echo + adoption" `Quick
+            test_session_trace_echo;
+          Alcotest.test_case "access log" `Quick test_session_access_log;
+          Alcotest.test_case "health telemetry" `Quick
+            test_session_health_telemetry;
+          Alcotest.test_case "stats method" `Quick test_session_stats_method;
         ] );
       ( "serve",
         [
           Alcotest.test_case "channel loop end-to-end" `Quick
             test_serve_channels_end_to_end;
+          Alcotest.test_case "metrics file snapshot" `Quick
+            test_metrics_file_snapshot;
         ] );
     ]
