@@ -12,6 +12,8 @@
      fig5      print the Figure-5 runtime series
      phases    per-strategy phase-cost breakdown (Qr_obs spans + counters);
                writes BENCH_phases.json
+     parallel  route_batch throughput at 1/2/4/8 worker domains;
+               writes BENCH_parallel.json
      ablation  isolate each design choice of LocalGridRoute
      circuits  end-to-end transpilation of the motivating workloads
      realistic depth on permutations harvested from real transpilations
@@ -225,6 +227,99 @@ let phases sides =
   Out_channel.with_open_text prom_path (fun oc ->
       output_string oc (Metrics.to_prometheus ()));
   Printf.printf "(prometheus exposition written to %s)\n" prom_path
+
+(* ------------------------------------------------------------- parallel *)
+
+(* Multicore scaling of route_batch-style fan-out: route the same bag of
+   random permutations through a {!Worker_pool} of 1/2/4/8 domains and
+   report throughput, speedup over the single-worker run and the
+   per-item latency tail.  This is the yardstick for the [serve
+   --workers N] mode: the pool and the per-item task closure here are
+   exactly what the server's [route_batch] handler submits.  Writes
+   BENCH_parallel.json.  On a single-core container the speedups will
+   hover near 1.0 — the interesting numbers come from a multi-core
+   runner (CI). *)
+let parallel () =
+  header "Parallel: route_batch throughput vs worker count (16x16, random)";
+  let grid = Grid.make ~rows:16 ~cols:16 in
+  let n = Grid.size grid in
+  let engine = Router_registry.get "local" in
+  let perm_count = 64 in
+  let perms =
+    List.init perm_count (fun i ->
+        Generators.generate grid Generators.Random (Rng.create (11000 + i)))
+  in
+  let run workers =
+    let pool = Worker_pool.create ~workers () in
+    (* Warm-up pass so domain spawn cost and first-touch allocation stay
+       out of the measured run. *)
+    ignore
+      (Worker_pool.map_tasks pool
+         (fun pi -> Schedule.depth (Router_intf.route_grid engine grid pi))
+         perms);
+    let latencies, wall =
+      Timer.time (fun () ->
+          Worker_pool.map_tasks pool
+            (fun pi ->
+              let sched, seconds =
+                Timer.time (fun () -> Router_intf.route_grid engine grid pi)
+              in
+              assert (Schedule.realizes ~n sched pi);
+              seconds)
+            perms)
+    in
+    Worker_pool.shutdown pool;
+    let lat = Array.of_list latencies in
+    Array.sort compare lat;
+    ( float_of_int perm_count /. wall,
+      wall,
+      Stats.percentile lat 50.,
+      Stats.percentile lat 99. )
+  in
+  let worker_counts = [ 1; 2; 4; 8 ] in
+  let results = List.map (fun w -> (w, run w)) worker_counts in
+  let base_throughput =
+    match results with (_, (t, _, _, _)) :: _ -> t | [] -> nan
+  in
+  Printf.printf "%-8s %14s %10s %12s %12s\n" "workers" "perms/s" "speedup"
+    "p50 (ms)" "p99 (ms)";
+  let rows =
+    List.map
+      (fun (w, (throughput, wall, p50, p99)) ->
+        let speedup = throughput /. base_throughput in
+        Printf.printf "%-8d %14.1f %10.2f %12.3f %12.3f\n" w throughput
+          speedup (p50 *. 1e3) (p99 *. 1e3);
+        Obs_json.Obj
+          [
+            ("workers", Obs_json.Int w);
+            ("throughput_per_s", Obs_json.Float throughput);
+            ("wall_s", Obs_json.Float wall);
+            ("speedup", Obs_json.Float speedup);
+            ("p50_ms", Obs_json.Float (p50 *. 1e3));
+            ("p99_ms", Obs_json.Float (p99 *. 1e3));
+          ])
+      results
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("workload", Obs_json.String "random");
+        ("grid_side", Obs_json.Int 16);
+        ("strategy", Obs_json.String "local");
+        ("perms", Obs_json.Int perm_count);
+        ("rows", Obs_json.List rows);
+      ]
+  in
+  let path = "BENCH_parallel.json" in
+  Out_channel.with_open_text path (fun oc -> Obs_json.to_channel oc doc);
+  let content = In_channel.with_open_text path In_channel.input_all in
+  (match Obs_json.of_string content with
+  | Ok parsed ->
+      if not (Obs_json.equal parsed doc) then
+        failwith "BENCH_parallel.json did not round-trip"
+  | Error msg ->
+      failwith ("BENCH_parallel.json is not well-formed: " ^ msg));
+  Printf.printf "(parallel scaling written to %s)\n" path
 
 (* ------------------------------------------------------------- ablations *)
 
@@ -665,6 +760,7 @@ let () =
   | "fig4" -> fig4 sides
   | "fig5" -> fig5 sides
   | "phases" -> phases sides
+  | "parallel" -> parallel ()
   | "ablation" -> ablations ()
   | "circuits" -> circuits ()
   | "realistic" -> realistic ()
@@ -673,11 +769,12 @@ let () =
       fig4 sides;
       fig5 sides;
       phases sides;
+      parallel ();
       ablations ();
       circuits ();
       realistic ();
       micro ()
   | other ->
-      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|ablation|circuits|realistic|micro|all)\n"
+      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|parallel|ablation|circuits|realistic|micro|all)\n"
         other;
       exit 1

@@ -544,7 +544,17 @@ let serve_cmd =
             "Consecutive error responses a connection may accumulate before \
              the socket server closes it; 0 disables shedding.")
   in
-  let run stdio socket cache_capacity max_batch max_inflight verify
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests (socket mode).  1 (default) \
+             keeps the single-threaded event loop; N > 1 runs requests on a \
+             pool of N domains, with per-connection response order \
+             preserved and route_batch items fanned across the pool.")
+  in
+  let run stdio socket workers cache_capacity max_batch max_inflight verify
       error_budget metrics_file log_level log_format =
     let config =
       {
@@ -559,13 +569,22 @@ let serve_cmd =
        stderr while NDJSON responses own stdout. *)
     Log.set_level log_level;
     Log.set_format log_format;
+    if workers < 1 then begin
+      Printf.eprintf "error: --workers must be at least 1\n";
+      exit 2
+    end;
     match (stdio, socket) with
     | true, Some _ ->
         Printf.eprintf "error: --stdio and --socket are mutually exclusive\n";
         exit 2
-    | true, None -> Server.run_stdio ~config ?metrics_file ()
+    | true, None ->
+        if workers > 1 then begin
+          Printf.eprintf "error: --workers requires --socket\n";
+          exit 2
+        end;
+        Server.run_stdio ~config ?metrics_file ()
     | false, Some path -> (
-        try Server.run_socket ~config ?metrics_file ~path () with
+        try Server.run_socket ~config ?metrics_file ~workers ~path () with
         | Failure msg ->
             Printf.eprintf "error: %s\n" msg;
             exit 1
@@ -596,7 +615,7 @@ let serve_cmd =
               trace propagation).";
          ])
     Term.(
-      const run $ stdio $ socket_arg $ cache_capacity $ max_batch
+      const run $ stdio $ socket_arg $ workers $ cache_capacity $ max_batch
       $ max_inflight $ verify $ error_budget $ metrics_file_arg
       $ log_level_arg ~default:Log.Info $ log_format_arg)
 

@@ -60,6 +60,7 @@ module Server_client = Qr_server.Client
 module Plan_cache = Qr_server.Plan_cache
 module Deadline = Qr_server.Deadline
 module Io_util = Qr_server.Io_util
+module Worker_pool = Qr_server.Worker_pool
 
 (* Linking the umbrella completes the registry: the grid engines register
    when [Router_registry]'s own initializer runs, the token-swapping ones

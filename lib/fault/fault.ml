@@ -28,6 +28,7 @@ type spec = {
 
 let errno_name = function
   | Unix.EINTR -> "eintr"
+  | Unix.EAGAIN -> "eagain"
   | Unix.EPIPE -> "epipe"
   | Unix.ECONNRESET -> "econnreset"
   | e -> Unix.error_message e
@@ -55,6 +56,7 @@ let parse_action text =
   match text with
   | "raise" | "raise(injected)" -> Ok Raise
   | "raise(eintr)" -> Ok (Raise_errno Unix.EINTR)
+  | "raise(eagain)" -> Ok (Raise_errno Unix.EAGAIN)
   | "raise(epipe)" -> Ok (Raise_errno Unix.EPIPE)
   | "raise(econnreset)" -> Ok (Raise_errno Unix.ECONNRESET)
   | "truncate" -> Ok Truncate
@@ -71,7 +73,7 @@ let parse_action text =
       else
         Error
           (Printf.sprintf
-             "unknown action %S (raise, raise(eintr|epipe|econnreset), \
+             "unknown action %S (raise, raise(eintr|eagain|epipe|econnreset), \
               delay(<ms>), truncate, corrupt)"
              text)
 
@@ -156,13 +158,64 @@ let parse_plan text =
 
 type armed_spec = { spec : spec; mutable remaining : int option }
 
+(* Domain-safety (DESIGN.md §13): the armed plan is shared by every
+   domain — remaining-fire counts and tallies live under [mutex] — but
+   each domain draws probabilities from {e its own} SplitMix64 stream,
+   derived deterministically from (seed, domain index).  That keeps a
+   chaos run reproducible under parallelism: a domain's draw sequence
+   depends only on its own fault-point visits, never on how the
+   scheduler interleaved the other workers. *)
 type state = {
-  rng : Rng.t;
+  seed : int;
+  mutex : Mutex.t;
+  rngs : (int, Rng.t) Hashtbl.t;  (* domain index -> probability stream *)
   table : (string, armed_spec list) Hashtbl.t;
   tally : (string, int) Hashtbl.t;
 }
 
-let state : state option ref = ref None
+let state : state option Atomic.t = Atomic.make None
+
+(* Stream for [domain]: index 0 (the main domain) gets [Rng.create seed]
+   exactly — the historical single-domain stream, so existing seeded
+   chaos runs reproduce unchanged — and index i > 0 gets an independent
+   substream split off a master advanced i steps. *)
+let derive_stream ~seed ~domain =
+  if domain < 0 then invalid_arg "Fault.derive_stream: negative domain index";
+  if domain = 0 then Rng.create seed
+  else begin
+    let master = Rng.create seed in
+    for _ = 1 to domain do
+      ignore (Rng.next_int64 master)
+    done;
+    Rng.split master
+  end
+
+(* Worker pools register a stable per-worker index here; unregistered
+   domains fall back to the (unique, never-reused) runtime domain id —
+   still safe, just not reproducible across runs.  The main domain is
+   index 0 by default. *)
+let domain_index_key =
+  Domain.DLS.new_key (fun () ->
+      if Domain.is_main_domain () then 0 else (Domain.self () :> int))
+
+let set_domain_index idx =
+  if idx < 0 then invalid_arg "Fault.set_domain_index: negative index";
+  Domain.DLS.set domain_index_key idx
+
+(* The calling domain's stream; call with [st.mutex] held (the table is
+   shared). *)
+let domain_rng st =
+  let idx = Domain.DLS.get domain_index_key in
+  match Hashtbl.find_opt st.rngs idx with
+  | Some rng -> rng
+  | None ->
+      let rng = derive_stream ~seed:st.seed ~domain:idx in
+      Hashtbl.add st.rngs idx rng;
+      rng
+
+let locked st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
 
 let arm ?(seed = 0) specs =
   let table = Hashtbl.create 8 in
@@ -172,22 +225,33 @@ let arm ?(seed = 0) specs =
       Hashtbl.replace table spec.point
         (prev @ [ { spec; remaining = spec.max_fires } ]))
     specs;
-  state := Some { rng = Rng.create seed; table; tally = Hashtbl.create 8 }
+  Atomic.set state
+    (Some
+       {
+         seed;
+         mutex = Mutex.create ();
+         rngs = Hashtbl.create 8;
+         table;
+         tally = Hashtbl.create 8;
+       })
 
-let disarm () = state := None
-let armed () = !state <> None
+let disarm () = Atomic.set state None
+let armed () = Atomic.get state <> None
 
 let plan () =
-  match !state with
+  match Atomic.get state with
   | None -> []
   | Some st ->
+      locked st @@ fun () ->
       Hashtbl.fold (fun _ specs acc -> List.map (fun a -> a.spec) specs @ acc)
         st.table []
 
 let fires point =
-  match !state with
+  match Atomic.get state with
   | None -> 0
-  | Some st -> Option.value ~default:0 (Hashtbl.find_opt st.tally point)
+  | Some st ->
+      locked st @@ fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt st.tally point)
 
 let env_var = "QR_FAULTS"
 let seed_env_var = "QR_FAULTS_SEED"
@@ -213,18 +277,20 @@ let arm_from_env () =
                     (Printf.sprintf "QR_FAULTS_SEED %S is not an integer" s))))
 
 (* Fire every armed spec at [point] whose action kind the caller can
-   apply: draw probability, consume a firing, bump the tally.  Specs the
-   caller cannot apply are skipped entirely (no draw, no firing) so the
-   matching helper still sees them. *)
+   apply: draw probability (from the calling domain's stream), consume a
+   firing, bump the tally.  Specs the caller cannot apply are skipped
+   entirely (no draw, no firing) so the matching helper still sees them.
+   Call with [st.mutex] held. *)
 let fire st point ~applies =
   match Hashtbl.find_opt st.table point with
   | None -> []
   | Some armed_specs ->
+      let rng = domain_rng st in
       List.filter_map
         (fun a ->
           if not (applies a.spec.action) then None
           else if a.remaining = Some 0 then None
-          else if a.spec.prob < 1.0 && Rng.float st.rng 1.0 >= a.spec.prob
+          else if a.spec.prob < 1.0 && Rng.float rng 1.0 >= a.spec.prob
           then None
           else begin
             (match a.remaining with
@@ -238,35 +304,45 @@ let fire st point ~applies =
         armed_specs
 
 let point name ~f =
-  match !state with
+  match Atomic.get state with
   | None -> f ()
   | Some st ->
+      (* Fire under the lock; sleep and raise outside it. *)
+      let actions =
+        locked st (fun () ->
+            fire st name ~applies:(function
+              | Raise | Raise_errno _ | Delay_ms _ -> true
+              | Truncate | Corrupt -> false))
+      in
       List.iter
         (function
           | Delay_ms ms -> Unix.sleepf (float_of_int ms /. 1000.)
           | Raise -> raise (Injected name)
           | Raise_errno e -> raise (Unix.Unix_error (e, "fault", name))
           | Truncate | Corrupt -> ())
-        (fire st name ~applies:(function
-          | Raise | Raise_errno _ | Delay_ms _ -> true
-          | Truncate | Corrupt -> false));
+        actions;
       f ()
 
 let corrupt name mangle v =
-  match !state with
+  match Atomic.get state with
   | None -> v
   | Some st ->
       if
-        fire st name ~applies:(function Corrupt -> true | _ -> false) <> []
+        locked st (fun () ->
+            fire st name ~applies:(function Corrupt -> true | _ -> false))
+        <> []
       then mangle v
       else v
 
 let truncate name len =
-  match !state with
+  match Atomic.get state with
   | None -> len
   | Some st ->
       if len <= 1 then len
-      else if
-        fire st name ~applies:(function Truncate -> true | _ -> false) <> []
-      then 1 + Rng.int st.rng (len - 1)
-      else len
+      else
+        locked st (fun () ->
+            if
+              fire st name ~applies:(function Truncate -> true | _ -> false)
+              <> []
+            then 1 + Rng.int (domain_rng st) (len - 1)
+            else len)

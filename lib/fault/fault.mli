@@ -6,9 +6,18 @@
     environment variable) arms points to misbehave: raise an exception,
     raise a specific [Unix] errno, sleep, shorten an I/O length, or hand a
     call-site-supplied corruptor the value about to be returned.  Every
-    probabilistic decision draws from one SplitMix64 stream seeded at
+    probabilistic decision draws from a SplitMix64 stream seeded at
     {!arm} time, so a chaos run is reproducible from
     [(QR_FAULTS, QR_FAULTS_SEED)] alone.
+
+    {b Domain safety} (DESIGN.md §13): the armed plan (firing caps,
+    tallies) is shared across domains under an internal mutex, but each
+    domain draws probabilities from {e its own} stream — derived
+    deterministically from [(seed, domain index)] by {!derive_stream} —
+    so a domain's draw sequence depends only on its own fault-point
+    visits, never on scheduler interleaving.  The main domain is index 0
+    and gets the exact historical single-domain stream; worker pools
+    assign stable indexes via {!set_domain_index}.
 
     Disarmed (the default, and the state {!disarm} restores), every
     helper is a single load-and-branch on the global state — safe to
@@ -21,7 +30,7 @@
     plan  ::= spec (";" spec)*
     spec  ::= point "=" action ["@" prob] ["#" count]
     action ::= "raise" | "raise(injected)" | "raise(eintr)"
-             | "raise(epipe)" | "raise(econnreset)"
+             | "raise(eagain)" | "raise(epipe)" | "raise(econnreset)"
              | "delay(" ms ")" | "truncate" | "corrupt"
     v}
 
@@ -44,8 +53,8 @@ type action =
   | Raise  (** Raise {!Injected} at the point. *)
   | Raise_errno of Unix.error
       (** Raise [Unix.Unix_error (errno, "fault", point)] — lets a plan
-          exercise EINTR/EPIPE/ECONNRESET handling without a misbehaving
-          kernel or peer. *)
+          exercise EINTR/EAGAIN/EPIPE/ECONNRESET handling without a
+          misbehaving kernel or peer. *)
   | Delay_ms of int  (** Sleep before running the wrapped computation. *)
   | Truncate
       (** Shorten the length an I/O call is about to use ({!truncate}). *)
@@ -91,6 +100,24 @@ val plan : unit -> spec list
 
 val fires : string -> int
 (** Total times any spec at this point has fired since {!arm}. *)
+
+(** {2 Per-domain probability streams} *)
+
+val set_domain_index : int -> unit
+(** Register the calling domain's stable stream index (worker pools call
+    this with [worker index + 1] at domain start-up).  The main domain
+    defaults to index 0; a domain that never registers falls back to its
+    runtime domain id — safe, but not reproducible across runs, since
+    runtime ids are never reused.  @raise Invalid_argument when
+    negative. *)
+
+val derive_stream : seed:int -> domain:int -> Qr_util.Rng.t
+(** The probability stream a domain with the given index draws from
+    under an armed plan seeded with [seed].  Index 0 is exactly
+    [Rng.create seed] (the historical single-domain stream); index
+    [i > 0] is an independent substream, deterministic in
+    [(seed, i)].  Exposed for tests asserting reproducibility.
+    @raise Invalid_argument when [domain] is negative. *)
 
 (** {2 Call-site helpers}
 

@@ -26,17 +26,28 @@ let format_of_string s =
 
 (* ------------------------------------------------------------- state *)
 
-let current_level = ref Warn
-let set_level l = current_level := l
-let level () = !current_level
-let would_log l = severity l >= severity !current_level
+(* Domain-safety (DESIGN.md §13): level and format are atomics (the
+   [would_log] fast path stays a load + compare); the sink reference and
+   every emission through it share one mutex, so a [set_sink] swap never
+   races an in-flight line and two domains never interleave writes into
+   the same sink. *)
 
-let current_format = ref Logfmt
-let set_format f = current_format := f
+let current_level = Atomic.make Warn
+let set_level l = Atomic.set current_level l
+let level () = Atomic.get current_level
+let would_log l = severity l >= severity (Atomic.get current_level)
+
+let current_format = Atomic.make Logfmt
+let set_format f = Atomic.set current_format f
 
 let default_sink line = Printf.eprintf "%s\n%!" line
 let sink = ref default_sink
-let set_sink = function None -> sink := default_sink | Some f -> sink := f
+let sink_mutex = Mutex.create ()
+
+let set_sink f =
+  Mutex.lock sink_mutex;
+  (sink := match f with None -> default_sink | Some f -> f);
+  Mutex.unlock sink_mutex
 
 (* Monotonic origin for ts_ms; process start, same clock as Trace. *)
 let t0_ns = Qr_util.Timer.now_ns ()
@@ -85,20 +96,34 @@ let render fmt lvl ~ts_ms msg kvs =
 (* ---------------------------------------------------------- emitting *)
 
 let emit lvl msg kvs =
-  if would_log lvl then
-    !sink (render !current_format lvl ~ts_ms:(now_ms ()) msg kvs)
+  if would_log lvl then begin
+    let line = render (Atomic.get current_format) lvl ~ts_ms:(now_ms ()) msg kvs in
+    Mutex.lock sink_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) (fun () ->
+        !sink line)
+  end
 
 let debug msg kvs = emit Debug msg kvs
 let info msg kvs = emit Info msg kvs
 let warn msg kvs = emit Warn msg kvs
 let error msg kvs = emit Error msg kvs
 
+(* The dedupe table has its own lock (not [sink_mutex]: [emit] takes
+   that one).  Membership check and insertion are one critical section,
+   so exactly one domain wins the right to emit a given key. *)
 let once : (string, unit) Hashtbl.t = Hashtbl.create 16
+let once_mutex = Mutex.create ()
 
 let warn_once ~key msg kvs =
-  if would_log Warn && not (Hashtbl.mem once key) then begin
-    Hashtbl.replace once key ();
-    emit Warn msg kvs
+  if would_log Warn then begin
+    Mutex.lock once_mutex;
+    let first = not (Hashtbl.mem once key) in
+    if first then Hashtbl.replace once key ();
+    Mutex.unlock once_mutex;
+    if first then emit Warn msg kvs
   end
 
-let reset_once () = Hashtbl.reset once
+let reset_once () =
+  Mutex.lock once_mutex;
+  Hashtbl.reset once;
+  Mutex.unlock once_mutex

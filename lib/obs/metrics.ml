@@ -1,10 +1,21 @@
-type counter = { c_name : string; mutable c_value : int }
+(* Domain-safety (DESIGN.md §13): counters and gauges are Atomic cells —
+   lock-free updates from any domain; histograms carry a per-instrument
+   mutex guarding counts/count/sum together so a concurrent reader never
+   sees a torn observation; the registry tables (name -> instrument,
+   registration order, help strings) share one registry mutex taken by
+   registration and whole-registry operations (snapshot, exposition,
+   reset).  Handle updates never touch the registry, so the hot path is
+   one atomic op (counter/gauge) or one short critical section
+   (histogram). *)
 
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+type counter = { c_name : string; c_value : int Atomic.t }
+
+type gauge = { g_name : string; g_value : float option Atomic.t }
 
 type histogram = {
   h_name : string;
   h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_mutex : Mutex.t;  (* guards the three fields below *)
   h_counts : int array;  (* length = Array.length h_bounds + 1; last = overflow *)
   mutable h_count : int;
   mutable h_sum : float;
@@ -24,6 +35,13 @@ let order : string list ref = ref []
    registration wins. *)
 let helps : (string, string) Hashtbl.t = Hashtbl.create 32
 
+(* One lock for registry/order/helps and whole-registry reads. *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let set_help name = function
   | Some text when not (Hashtbl.mem helps name) ->
       Hashtbl.replace helps name text
@@ -31,13 +49,15 @@ let set_help name = function
 
 let help name = Hashtbl.find_opt helps name
 
-let enabled_flag = ref false
+let enabled_flag = Atomic.make false
 
-let enabled () = !enabled_flag
-let enable () = enabled_flag := true
-let disable () = enabled_flag := false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
 
-let register name make describe =
+let register name help make describe =
+  with_registry @@ fun () ->
+  set_help name help;
   match Hashtbl.find_opt registry name with
   | None ->
       let instrument = make () in
@@ -53,20 +73,18 @@ let register name make describe =
                name))
 
 let counter ?help name =
-  set_help name help;
   match
-    register name
-      (fun () -> Counter { c_name = name; c_value = 0 })
+    register name help
+      (fun () -> Counter { c_name = name; c_value = Atomic.make 0 })
       (function Counter c -> Some (Counter c) | _ -> None)
   with
   | Counter c -> c
   | _ -> assert false
 
 let gauge ?help name =
-  set_help name help;
   match
-    register name
-      (fun () -> Gauge { g_name = name; g_value = 0.; g_set = false })
+    register name help
+      (fun () -> Gauge { g_name = name; g_value = Atomic.make None })
       (function Gauge g -> Some (Gauge g) | _ -> None)
   with
   | Gauge g -> g
@@ -87,7 +105,6 @@ let latency_buckets =
   |]
 
 let histogram ?help ?(buckets = default_buckets) name =
-  set_help name help;
   let make () =
     if Array.length buckets = 0 then
       invalid_arg "Metrics.histogram: empty buckets";
@@ -99,28 +116,27 @@ let histogram ?help ?(buckets = default_buckets) name =
       {
         h_name = name;
         h_bounds = Array.copy buckets;
+        h_mutex = Mutex.create ();
         h_counts = Array.make (Array.length buckets + 1) 0;
         h_count = 0;
         h_sum = 0.;
       }
   in
   match
-    register name make (function Histogram h -> Some (Histogram h) | _ -> None)
+    register name help make
+      (function Histogram h -> Some (Histogram h) | _ -> None)
   with
   | Histogram h -> h
   | _ -> assert false
 
 (* -------------------------------------------------------------- updates *)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let incr c = if Atomic.get enabled_flag then Atomic.incr c.c_value
 
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let add c n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
 
-let set g x =
-  if !enabled_flag then begin
-    g.g_value <- x;
-    g.g_set <- true
-  end
+let set g x = if Atomic.get enabled_flag then Atomic.set g.g_value (Some x)
 
 (* First bucket whose bound admits [x]; the overflow bucket otherwise. *)
 let bucket_index bounds x =
@@ -134,83 +150,98 @@ let bucket_index bounds x =
   !lo
 
 let observe h x =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let idx = bucket_index h.h_bounds x in
+    Mutex.lock h.h_mutex;
     h.h_counts.(idx) <- h.h_counts.(idx) + 1;
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. x
+    h.h_sum <- h.h_sum +. x;
+    Mutex.unlock h.h_mutex
   end
 
 (* ---------------------------------------------------------------- reset *)
 
+let reset_instrument = function
+  | Counter c -> Atomic.set c.c_value 0
+  | Gauge g -> Atomic.set g.g_value None
+  | Histogram h ->
+      Mutex.lock h.h_mutex;
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      Mutex.unlock h.h_mutex
+
 let reset () =
-  Hashtbl.iter
-    (fun _ instrument ->
-      match instrument with
-      | Counter c -> c.c_value <- 0
-      | Gauge g ->
-          g.g_value <- 0.;
-          g.g_set <- false
-      | Histogram h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_count <- 0;
-          h.h_sum <- 0.)
-    registry
+  with_registry @@ fun () ->
+  Hashtbl.iter (fun _ instrument -> reset_instrument instrument) registry
 
 (* -------------------------------------------------------------- reading *)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
-let gauge_value g = if g.g_set then Some g.g_value else None
+let gauge_value g = Atomic.get g.g_value
 
 let histogram_count h = h.h_count
 
 let histogram_sum h = h.h_sum
 
+(* Coherent (counts, count, sum) triple under the histogram's lock. *)
+let histogram_snapshot h =
+  Mutex.lock h.h_mutex;
+  let counts = Array.copy h.h_counts in
+  let count = h.h_count and sum = h.h_sum in
+  Mutex.unlock h.h_mutex;
+  (counts, count, sum)
+
 let bucket_counts h =
+  let counts, _, _ = histogram_snapshot h in
   let pairs = ref [] in
-  for k = Array.length h.h_counts - 1 downto 0 do
+  for k = Array.length counts - 1 downto 0 do
     let bound =
       if k < Array.length h.h_bounds then h.h_bounds.(k) else infinity
     in
-    pairs := (bound, h.h_counts.(k)) :: !pairs
+    pairs := (bound, counts.(k)) :: !pairs
   done;
   !pairs
 
 let find_counter name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> Some c
   | _ -> None
 
 let to_json () =
+  with_registry @@ fun () ->
   let names = List.rev !order in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
     (fun name ->
       match Hashtbl.find registry name with
-      | Counter c -> counters := (c.c_name, Json.Int c.c_value) :: !counters
-      | Gauge g ->
-          if g.g_set then gauges := (g.g_name, Json.Float g.g_value) :: !gauges
+      | Counter c ->
+          counters := (c.c_name, Json.Int (Atomic.get c.c_value)) :: !counters
+      | Gauge g -> (
+          match Atomic.get g.g_value with
+          | Some v -> gauges := (g.g_name, Json.Float v) :: !gauges
+          | None -> ())
       | Histogram h ->
-          let buckets =
-            List.map
-              (fun (bound, count) ->
-                Json.Obj
-                  [
-                    ( "le",
-                      if Float.is_finite bound then Json.Float bound
-                      else Json.String "inf" );
-                    ("count", Json.Int count);
-                  ])
-              (bucket_counts h)
-          in
+          let counts, count, sum = histogram_snapshot h in
+          let buckets = ref [] in
+          for k = Array.length counts - 1 downto 0 do
+            let bound =
+              if k < Array.length h.h_bounds then Json.Float h.h_bounds.(k)
+              else Json.String "inf"
+            in
+            buckets :=
+              Json.Obj [ ("le", bound); ("count", Json.Int counts.(k)) ]
+              :: !buckets
+          done;
           histograms :=
             ( h.h_name,
               Json.Obj
                 [
-                  ("count", Json.Int h.h_count);
-                  ("sum", Json.Float h.h_sum);
-                  ("buckets", Json.List buckets);
+                  ("count", Json.Int count);
+                  ("sum", Json.Float sum);
+                  ("buckets", Json.List !buckets);
                 ] )
             :: !histograms)
     names;
@@ -245,34 +276,37 @@ let add_header b name kind =
   Printf.bprintf b "# TYPE %s %s\n" name kind
 
 let to_prometheus () =
+  with_registry @@ fun () ->
   let b = Buffer.create 1024 in
   List.iter
     (fun name ->
       match Hashtbl.find registry name with
       | Counter c ->
           add_header b name "counter";
-          Printf.bprintf b "%s %d\n" c.c_name c.c_value
-      | Gauge g ->
-          if g.g_set then begin
-            add_header b name "gauge";
-            Printf.bprintf b "%s " g.g_name;
-            pp_float b g.g_value;
-            Buffer.add_char b '\n'
-          end
+          Printf.bprintf b "%s %d\n" c.c_name (Atomic.get c.c_value)
+      | Gauge g -> (
+          match Atomic.get g.g_value with
+          | None -> ()
+          | Some v ->
+              add_header b name "gauge";
+              Printf.bprintf b "%s " g.g_name;
+              pp_float b v;
+              Buffer.add_char b '\n')
       | Histogram h ->
           add_header b name "histogram";
+          let counts, count, sum = histogram_snapshot h in
           let cumulative = ref 0 in
           Array.iteri
             (fun k bound ->
-              cumulative := !cumulative + h.h_counts.(k);
+              cumulative := !cumulative + counts.(k);
               Printf.bprintf b "%s_bucket{le=\"" h.h_name;
               pp_float b bound;
               Printf.bprintf b "\"} %d\n" !cumulative)
             h.h_bounds;
-          Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" h.h_name h.h_count;
+          Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" h.h_name count;
           Printf.bprintf b "%s_sum " h.h_name;
-          pp_float b h.h_sum;
+          pp_float b sum;
           Buffer.add_char b '\n';
-          Printf.bprintf b "%s_count %d\n" h.h_name h.h_count)
+          Printf.bprintf b "%s_count %d\n" h.h_name count)
     (List.rev !order);
   Buffer.contents b

@@ -7,6 +7,15 @@
     safe to leave in hot loops.  Registration itself is always allowed;
     re-registering a name returns the existing instrument.
 
+    {b Domain safety} (DESIGN.md §13): every operation may be called from
+    any domain.  Counter and gauge updates are lock-free atomics;
+    histogram observations take a per-instrument mutex so
+    (buckets, count, sum) can never tear; registration and the
+    whole-registry operations ({!to_json}, {!to_prometheus}, {!reset},
+    {!find_counter}) serialize on one registry lock.  Snapshots taken
+    while other domains update are consistent per instrument (each
+    histogram is copied under its own lock), not across instruments.
+
     Metric names follow the same snake_case schema as span names (see
     DESIGN.md §8). *)
 

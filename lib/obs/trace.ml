@@ -19,51 +19,87 @@ type frame = {
   mutable f_child_ns : int64;
 }
 
-let enabled_flag = ref false
+(* Domain-safety (DESIGN.md §13): span collection is per-domain.  Each
+   domain that traces gets its own buffer — completed spans, the open
+   frame stack, and the request-scoped trace id — via domain-local
+   storage, so [with_span]/[add_attr] never synchronize.  The buffers
+   register themselves (under a mutex) in a global list the first time a
+   domain traces; {!stop}/{!spans} merge every registered buffer, the
+   collecting domain's spans first and each buffer in completion order —
+   so a single-domain collection is byte-identical to the historical
+   global-buffer behavior.  Only the enable flag is shared (an atomic):
+   {!start}/{!stop} are meant to be called from one coordinating domain
+   around a quiescent region; spans still open on another domain when
+   {!stop} runs are discarded with the rest of that domain's stack. *)
+type buffer = {
+  mutable completed : span list;  (* most recent first *)
+  mutable stack : frame list;  (* open spans, innermost first *)
+  mutable buf_trace_id : string option;
+}
 
-(* Completed spans, most recent first. *)
-let completed : span list ref = ref []
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
 
-(* Open spans, innermost first. *)
-let stack : frame list ref = ref []
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { completed = []; stack = []; buf_trace_id = None } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
 
-(* Request-scoped trace id: while set, every completed span carries a
-   ("trace_id", String id) attribute, so an exported Chrome trace can be
-   correlated with the request that produced it (DESIGN.md §12). *)
-let current_trace_id : string option ref = ref None
+let my_buffer () = Domain.DLS.get buffer_key
 
-let set_trace_id id = current_trace_id := id
+let enabled_flag = Atomic.make false
 
-let trace_id () = !current_trace_id
+let set_trace_id id = (my_buffer ()).buf_trace_id <- id
 
-let enabled () = !enabled_flag
+let trace_id () = (my_buffer ()).buf_trace_id
+
+let enabled () = Atomic.get enabled_flag
+
+(* Snapshot every domain's completed spans: the calling domain's buffer
+   first (preserving the single-domain contract), the others in
+   registration order. *)
+let merged clear =
+  let mine = my_buffer () in
+  Mutex.lock buffers_mutex;
+  let others = List.filter (fun b -> b != mine) (List.rev !buffers) in
+  let collected =
+    List.concat_map (fun b -> List.rev b.completed) (mine :: others)
+  in
+  if clear then
+    List.iter
+      (fun b ->
+        b.completed <- [];
+        b.stack <- [])
+      !buffers;
+  Mutex.unlock buffers_mutex;
+  collected
 
 let start () =
-  completed := [];
-  stack := [];
-  enabled_flag := true
+  ignore (merged true);
+  Atomic.set enabled_flag true
 
 let stop () =
-  enabled_flag := false;
-  let spans = List.rev !completed in
-  completed := [];
-  stack := [];
-  spans
+  Atomic.set enabled_flag false;
+  merged true
 
-let spans () = List.rev !completed
+let spans () = merged false
 
 let with_span name ?attrs f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
+    let buffer = my_buffer () in
     let base =
-      match !current_trace_id with
+      match buffer.buf_trace_id with
       | None -> []
       | Some id -> [ ("trace_id", String id) ]
     in
     let frame =
       {
         f_name = name;
-        f_depth = List.length !stack;
+        f_depth = List.length buffer.stack;
         f_start = Timer.now_ns ();
         f_attrs =
           (match attrs with
@@ -72,11 +108,11 @@ let with_span name ?attrs f =
         f_child_ns = 0L;
       }
     in
-    stack := frame :: !stack;
+    buffer.stack <- frame :: buffer.stack;
     let finish () =
       let dur_ns = Int64.sub (Timer.now_ns ()) frame.f_start in
-      (match !stack with
-      | top :: rest when top == frame -> stack := rest
+      (match buffer.stack with
+      | top :: rest when top == frame -> buffer.stack <- rest
       | _ ->
           (* Unbalanced exit (an exception skipped a child's finish, which
              Fun.protect prevents; defensive): drop down to our frame. *)
@@ -85,11 +121,11 @@ let with_span name ?attrs f =
             | _ :: rest -> unwind rest
             | [] -> []
           in
-          stack := unwind !stack);
-      (match !stack with
+          buffer.stack <- unwind buffer.stack);
+      (match buffer.stack with
       | parent :: _ -> parent.f_child_ns <- Int64.add parent.f_child_ns dur_ns
       | [] -> ());
-      completed :=
+      buffer.completed <-
         {
           name = frame.f_name;
           depth = frame.f_depth;
@@ -98,14 +134,14 @@ let with_span name ?attrs f =
           self_ns = Int64.sub dur_ns frame.f_child_ns;
           attrs = List.rev frame.f_attrs;
         }
-        :: !completed
+        :: buffer.completed
     in
     Fun.protect ~finally:finish f
   end
 
 let add_attr key v =
-  if !enabled_flag then
-    match !stack with
+  if Atomic.get enabled_flag then
+    match (my_buffer ()).stack with
     | frame :: _ -> frame.f_attrs <- (key, v) :: frame.f_attrs
     | [] -> ()
 

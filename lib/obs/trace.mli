@@ -10,6 +10,17 @@
     single branch plus a tail call — instrumented library code stays
     benchmark-clean — and {!add_attr} is a single branch.
 
+    {b Domain safety} (DESIGN.md §13): every domain records into its own
+    span buffer (domain-local storage), so {!with_span}/{!add_attr} never
+    synchronize with other domains.  {!stop} and {!spans} merge all
+    per-domain buffers: the calling domain's spans first (each buffer in
+    completion order), so a single-domain collection behaves exactly as
+    the historical global buffer did.  {!start}/{!stop} should be driven
+    from one coordinating domain; spans still open on a worker when
+    {!stop} runs are discarded with that worker's stack.  The trace id
+    is likewise per-domain — request-scoped within whichever worker is
+    serving the request.
+
     Span names are lowercase snake_case phase names; see DESIGN.md §8 for
     the naming schema instrumented across the stack. *)
 
@@ -29,14 +40,15 @@ val enabled : unit -> bool
 (** Whether a collection is active. *)
 
 val set_trace_id : string option -> unit
-(** Install (or clear) the request-scoped trace id.  While set, every
-    span completed by {!with_span} carries a [("trace_id", String id)]
-    attribute — the hook {!Qr_server.Session} uses to stamp a caller's
-    {!Trace_context} onto the whole [serve_request] span tree.  Cheap
-    either way (one ref write); independent of {!start}/{!stop}. *)
+(** Install (or clear) the request-scoped trace id {e for the calling
+    domain}.  While set, every span completed by {!with_span} on this
+    domain carries a [("trace_id", String id)] attribute — the hook
+    {!Qr_server.Session} uses to stamp a caller's {!Trace_context} onto
+    the whole [serve_request] span tree.  Cheap either way (one write to
+    domain-local state); independent of {!start}/{!stop}. *)
 
 val trace_id : unit -> string option
-(** The currently installed request-scoped trace id. *)
+(** The trace id currently installed on the calling domain. *)
 
 val start : unit -> unit
 (** Begin collecting: clears the buffer and enables {!with_span}. *)

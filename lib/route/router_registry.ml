@@ -82,11 +82,12 @@ let c_degraded = Metrics.counter "router_degraded"
 
 (* Plain tallies next to the metrics counters: the counters only count
    while Metrics is enabled, but health reports must see degradation
-   regardless. *)
-let verify_failures_total = ref 0
-let degradations_total = ref 0
-let verify_failures () = !verify_failures_total
-let degradations () = !degradations_total
+   regardless.  Atomic so worker domains can bump them race-free
+   (DESIGN.md §13). *)
+let verify_failures_total = Atomic.make 0
+let degradations_total = Atomic.make 0
+let verify_failures () = Atomic.get verify_failures_total
+let degradations () = Atomic.get degradations_total
 
 exception Verification_failed of { engine : string; reason : string }
 
@@ -115,7 +116,7 @@ let validate input sched =
 let default_verify_chain = [ generic_fallback; "naive" ]
 
 let note_verify_failure ~engine ~reason =
-  incr verify_failures_total;
+  Atomic.incr verify_failures_total;
   Metrics.incr c_verify_failures;
   Log.warn_once ~key:("verify:" ^ engine)
     "engine produced no verified schedule; degrading through the fallback \
@@ -167,7 +168,7 @@ let verified ?(chain = default_verify_chain) engine =
               | Some fallback -> (
                   match attempt ws config input fallback with
                   | Ok sched ->
-                      incr degradations_total;
+                      Atomic.incr degradations_total;
                       Metrics.incr c_degraded;
                       Trace.add_attr "degraded_to"
                         (Trace.String fallback.Router_intf.name);

@@ -6,7 +6,15 @@
     engines ([local], [local1], [naive], [snake], [best]) register here;
     the token-swapping engines ([ats], [ats-serial]) live in [qr_token] and
     are registered by the [qroute] umbrella's initialization (or an
-    explicit [Qr_token.Engines.register ()]). *)
+    explicit [Qr_token.Engines.register ()]).
+
+    {b Domain safety} (DESIGN.md §13): registration is {e single-threaded
+    at init} — all [register] calls must complete (module initialization,
+    before any worker domain is spawned) before the registry is read in
+    parallel.  After init the registry is effectively frozen; {!find},
+    {!get}, {!names}, {!all} and the routing wrappers are then safe from
+    any domain.  The degradation tallies ({!verify_failures},
+    {!degradations}) are atomics, bumped race-free by workers. *)
 
 val register : Router_intf.t -> unit
 (** Add an engine.  Registration order is preserved by {!names}/{!all}.

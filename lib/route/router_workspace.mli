@@ -5,8 +5,14 @@
     Hopcroft–Karp scratch — so a batched entry point
     ({!Router_intf.route_many}) or a transpiler issuing one routing call
     per slice can amortize them.  Workspaces are purely an allocation
-    optimization: results are bit-identical with or without one.  They are
-    not thread-safe; use one workspace per routing thread. *)
+    optimization: results are bit-identical with or without one.
+
+    {b Domain safety} (DESIGN.md §13): a workspace is strictly owned by
+    the domain that called {!create} — one workspace per worker, never
+    shared.  The accessors enforce this: used from any other domain,
+    {!reusable_cg}/{!hk} return [None] and {!remember_cg} is a no-op, so
+    a mis-shared workspace silently degrades to per-call allocation
+    instead of racing. *)
 
 type t
 

@@ -31,5 +31,7 @@ let rec read_chunk ?fault fd buf =
   with
   | 0 -> Eof
   | k -> Read k
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk ?fault fd buf
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      read_chunk ?fault fd buf
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Closed

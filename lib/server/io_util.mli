@@ -33,5 +33,7 @@ val write_line :
 (** {!write_all} of [line ^ "\n"]. *)
 
 val read_chunk : ?fault:string -> Unix.file_descr -> bytes -> read_result
-(** Read once into the buffer, retrying [EINTR].  0 bytes is {!Eof};
-    [ECONNRESET]/[EPIPE] is {!Closed}. *)
+(** Read once into the buffer, retrying [EINTR] and spurious
+    [EAGAIN]/[EWOULDBLOCK] wake-ups (the serving loops only read
+    [select]-ready descriptors, so a would-block result is transient).
+    0 bytes is {!Eof}; [ECONNRESET]/[EPIPE] is {!Closed}. *)

@@ -31,8 +31,17 @@ type entry = {
   mutable next : entry option;  (* towards the tail *)
 }
 
+(* Domain-safety (DESIGN.md §13): one mutex guards the table, the
+   recency list and the stat counters together, so concurrent find/add
+   from worker domains can never tear an entry or skew hits+misses away
+   from the lookup count.  A single lock (rather than shards) keeps the
+   LRU eviction order globally exact — the semantics the tests pin down;
+   per-worker sharding is a ROADMAP follow-up.  Fault points fire
+   {e outside} the critical section so a raising action can never leave
+   the mutex held. *)
 type t = {
   capacity : int;
+  mutex : Mutex.t;
   table : (key, entry) Hashtbl.t;
   mutable head : entry option;
   mutable tail : entry option;
@@ -45,6 +54,7 @@ let create ?(capacity = 128) () =
   if capacity < 0 then invalid_arg "Plan_cache.create: negative capacity";
   {
     capacity;
+    mutex = Mutex.create ();
     table = Hashtbl.create (max 16 capacity);
     head = None;
     tail = None;
@@ -53,11 +63,15 @@ let create ?(capacity = 128) () =
     evictions = 0;
   }
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 let capacity t = t.capacity
-let length t = Hashtbl.length t.table
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+let length t = locked t @@ fun () -> Hashtbl.length t.table
+let hits t = locked t @@ fun () -> t.hits
+let misses t = locked t @@ fun () -> t.misses
+let evictions t = locked t @@ fun () -> t.evictions
 
 let unlink t e =
   (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
@@ -82,17 +96,23 @@ let corrupt_schedule = function
 
 let find t k =
   Fault.point "cache.find" ~f:(fun () -> ());
-  match Hashtbl.find_opt t.table k with
-  | Some e ->
-      t.hits <- t.hits + 1;
-      Metrics.incr c_hits;
-      unlink t e;
-      push_front t e;
-      Some (Fault.corrupt "cache.find" corrupt_schedule e.value)
-  | None ->
-      t.misses <- t.misses + 1;
-      Metrics.incr c_misses;
-      None
+  let hit =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.table k with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        Metrics.incr c_hits;
+        unlink t e;
+        push_front t e;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        Metrics.incr c_misses;
+        None
+  in
+  match hit with
+  | Some v -> Some (Fault.corrupt "cache.find" corrupt_schedule v)
+  | None -> None
 
 let evict_lru t =
   match t.tail with
@@ -105,7 +125,8 @@ let evict_lru t =
 
 let add t k v =
   Fault.point "cache.insert" ~f:(fun () -> ());
-  if t.capacity > 0 then begin
+  if t.capacity > 0 then
+    locked t @@ fun () ->
     (match Hashtbl.find_opt t.table k with
     | Some old ->
         unlink t old;
@@ -115,7 +136,6 @@ let add t k v =
     push_front t e;
     Hashtbl.replace t.table k e;
     if Hashtbl.length t.table > t.capacity then evict_lru t
-  end
 
 let find_or_add t k compute =
   match find t k with
@@ -126,6 +146,7 @@ let find_or_add t k compute =
       (v, false)
 
 let remove t k =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.table k with
   | None -> ()
   | Some e ->
@@ -133,6 +154,7 @@ let remove t k =
       Hashtbl.remove t.table k
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None

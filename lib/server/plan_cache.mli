@@ -18,7 +18,14 @@
     — the stored entry is untouched, so {!remove} + replan heals the
     key) and [cache.insert] fires on every store.  See DESIGN.md §11.
 
-    Not thread-safe; use one cache per server event loop. *)
+    {b Domain safety} (DESIGN.md §13): safe to share one cache across
+    worker domains — a single internal mutex guards the table, the LRU
+    recency list and the per-cache stat counters together, so entries
+    never tear and [hits + misses] always equals the number of lookups.
+    Eviction order stays globally exact (one lock, no shards);
+    [find_or_add] runs [compute] outside the lock, so two domains
+    missing on the same key concurrently may both plan — idempotent,
+    since routing is deterministic. *)
 
 type t
 

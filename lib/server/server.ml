@@ -9,6 +9,10 @@ let c_shed = Metrics.counter "server_shed_requests"
 let c_crashed = Metrics.counter "server_crashed_requests"
 let c_budget_closes = Metrics.counter "server_error_budget_closes"
 
+let g_workers =
+  Metrics.gauge "server_workers"
+    ~help:"Worker domains serving requests (1 = single-threaded loop)."
+
 (* ------------------------------------------------- metrics-file snapshots *)
 
 (* Periodic Prometheus snapshots for file-based scraping: written
@@ -113,11 +117,11 @@ let respond config conn line =
     conn.eof <- true
   end
 
-(* Move complete lines out of the connection's buffer; the trailing
-   fragment (no newline yet) stays for the next read. *)
-let take_lines conn =
-  let data = Buffer.contents conn.inbuf in
-  Buffer.clear conn.inbuf;
+(* Move complete lines out of an input buffer; the trailing fragment
+   (no newline yet) stays for the next read. *)
+let take_lines_buf inbuf =
+  let data = Buffer.contents inbuf in
+  Buffer.clear inbuf;
   let n = String.length data in
   let lines = ref [] in
   let start = ref 0 in
@@ -129,8 +133,10 @@ let take_lines conn =
        if String.trim line <> "" then lines := line :: !lines
      done
    with Not_found -> ());
-  Buffer.add_substring conn.inbuf data !start (n - !start);
+  Buffer.add_substring inbuf data !start (n - !start);
   List.rev !lines
+
+let take_lines conn = take_lines_buf conn.inbuf
 
 (* ------------------------------------------------- single-connection loop *)
 
@@ -157,8 +163,9 @@ let remove_stale_socket path =
   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let run_socket ?(config = Session.default_config) ?metrics_file ~path () =
+let run_socket_single ~config ?metrics_file ~path () =
   Metrics.enable ();
+  Metrics.set g_workers 1.;
   let tick_metrics, flush_metrics = metrics_writer metrics_file in
   let stop = ref false in
   let prev_int =
@@ -264,3 +271,237 @@ let run_socket ?(config = Session.default_config) ?metrics_file ~path () =
            an idle server still refreshes the snapshot about every 2s. *)
         tick_metrics ()
   done
+
+(* --------------------------------------------------- multicore socket loop *)
+
+(* Pool mode (DESIGN.md §13): the accept/IO loop stays on the main
+   domain; parsed request lines become jobs on a {!Worker_pool}.  Each
+   request is stamped with a per-connection sequence number at arrival,
+   and finished responses land in the connection's outbox (a mutex-
+   guarded seq -> line table filled by workers); the main loop writes
+   consecutive sequence numbers only, so responses leave every
+   connection in arrival order no matter how the workers interleave —
+   including shed [overloaded] responses, which are parked in the outbox
+   at their slot instead of jumping the queue.  A worker finishing a job
+   pokes a self-pipe watched by [select], so responses are written
+   promptly instead of waiting out the poll timeout. *)
+type pconn = {
+  p_fd : Unix.file_descr;
+  p_inbuf : Buffer.t;
+  p_mutex : Mutex.t;  (* guards p_outbox *)
+  p_outbox : (int, string * bool) Hashtbl.t;  (* seq -> (response, errored) *)
+  mutable p_next_seq : int;  (* main domain only *)
+  mutable p_next_write : int;  (* main domain only *)
+  mutable p_inflight : int;  (* submitted, not yet flushed; main only *)
+  mutable p_eof : bool;  (* read side finished *)
+  mutable p_dead : bool;  (* write failed or error budget tripped *)
+  mutable p_errors : int;  (* consecutive error responses *)
+}
+
+let run_socket_pool ~config ?metrics_file ~path ~workers () =
+  Metrics.enable ();
+  Metrics.set g_workers (float_of_int workers);
+  let tick_metrics, flush_metrics = metrics_writer metrics_file in
+  let stop = ref false in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  remove_stale_socket path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  let cache = Plan_cache.create ~capacity:config.Session.cache_capacity () in
+  (* Self-pipe: workers poke the write end after each finished job; the
+     read end sits in the select set.  Both ends nonblocking — a full
+     pipe already means a wake-up is pending. *)
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  Unix.set_nonblock pipe_rd;
+  Unix.set_nonblock pipe_wr;
+  let poke = Bytes.make 1 '!' in
+  let notify () =
+    try ignore (Unix.write pipe_wr poke 0 1) with Unix.Unix_error _ -> ()
+  in
+  let pool =
+    Worker_pool.create ~queue_bound:config.Session.max_inflight ~notify
+      ~workers ()
+  in
+  (* One session per worker, created lazily {e on} the worker so its
+     router workspace is domain-owned there; slot [k] is only ever
+     touched by worker [k].  All sessions share the one plan cache. *)
+  let sessions = Array.make workers None in
+  let session_for k =
+    match sessions.(k) with
+    | Some s -> s
+    | None ->
+        let s =
+          Session.create ~config ~cache ~pool ~worker:(k + 1)
+            ~inflight_probe:(fun () -> Worker_pool.pending pool)
+            ()
+        in
+        sessions.(k) <- Some s;
+        s
+  in
+  let conns = ref [] in
+  let chunk = Bytes.create 65536 in
+  let drain_pipe () =
+    let b = Bytes.create 512 in
+    let rec go () =
+      match Unix.read pipe_rd b 0 512 with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  (* Assign the arrival slot and hand the line to the pool; a refused
+     job (queue at bound) sheds into the same slot so ordering holds. *)
+  let submit_line conn line =
+    let seq = conn.p_next_seq in
+    conn.p_next_seq <- seq + 1;
+    conn.p_inflight <- conn.p_inflight + 1;
+    let job () =
+      let k = Option.value ~default:0 (Worker_pool.worker_index ()) in
+      let reply =
+        try Session.handle_line_status (session_for k) line
+        with exn ->
+          Metrics.incr c_crashed;
+          (Session.crashed_response_line line exn, true)
+      in
+      Mutex.lock conn.p_mutex;
+      Hashtbl.replace conn.p_outbox seq reply;
+      Mutex.unlock conn.p_mutex
+    in
+    if not (Worker_pool.submit pool job) then begin
+      Metrics.incr c_shed;
+      Mutex.lock conn.p_mutex;
+      Hashtbl.replace conn.p_outbox seq
+        (Session.overloaded_response_line line, true);
+      Mutex.unlock conn.p_mutex
+    end
+  in
+  (* Write finished responses in sequence order; stop at the first slot
+     a worker hasn't filled yet.  A dead connection keeps consuming its
+     slots (so inflight reaches 0 and it can close) without writing. *)
+  let flush_outbox conn =
+    let rec go () =
+      Mutex.lock conn.p_mutex;
+      let next = Hashtbl.find_opt conn.p_outbox conn.p_next_write in
+      (match next with
+      | Some _ -> Hashtbl.remove conn.p_outbox conn.p_next_write
+      | None -> ());
+      Mutex.unlock conn.p_mutex;
+      match next with
+      | None -> ()
+      | Some (line, errored) ->
+          conn.p_inflight <- conn.p_inflight - 1;
+          conn.p_next_write <- conn.p_next_write + 1;
+          if not conn.p_dead then begin
+            (match Io_util.write_line ~fault:"server.write" conn.p_fd line with
+            | Ok () -> ()
+            | Error `Closed -> conn.p_dead <- true
+            | exception Fault.Injected _ -> conn.p_dead <- true);
+            if errored then begin
+              conn.p_errors <- conn.p_errors + 1;
+              let budget = config.Session.error_budget in
+              if budget > 0 && conn.p_errors >= budget then begin
+                Metrics.incr c_budget_closes;
+                conn.p_dead <- true
+              end
+            end
+            else conn.p_errors <- 0
+          end;
+          go ()
+    in
+    go ()
+  in
+  let cleanup () =
+    Worker_pool.shutdown pool;
+    List.iter
+      (fun c -> try Unix.close c.p_fd with Unix.Unix_error _ -> ())
+      !conns;
+    (try Unix.close pipe_rd with Unix.Unix_error _ -> ());
+    (try Unix.close pipe_wr with Unix.Unix_error _ -> ());
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    ignore (Sys.signal Sys.sigint prev_int);
+    ignore (Sys.signal Sys.sigterm prev_term);
+    ignore (Sys.signal Sys.sigpipe prev_pipe);
+    flush_metrics ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  flush_metrics ();
+  while not !stop do
+    let live = List.filter (fun c -> not (c.p_eof || c.p_dead)) !conns in
+    let fds = listener :: pipe_rd :: List.map (fun c -> c.p_fd) live in
+    match Unix.select fds [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.memq pipe_rd ready then drain_pipe ();
+        if List.memq listener ready then begin
+          match
+            Fault.point "server.accept" ~f:(fun () -> Unix.accept listener)
+          with
+          | fd, _ ->
+              Metrics.incr c_connections;
+              conns :=
+                {
+                  p_fd = fd;
+                  p_inbuf = Buffer.create 256;
+                  p_mutex = Mutex.create ();
+                  p_outbox = Hashtbl.create 8;
+                  p_next_seq = 0;
+                  p_next_write = 0;
+                  p_inflight = 0;
+                  p_eof = false;
+                  p_dead = false;
+                  p_errors = 0;
+                }
+                :: !conns
+          | exception Fault.Injected _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun conn ->
+            if List.memq conn.p_fd ready then
+              match
+                Io_util.read_chunk ~fault:"server.read" conn.p_fd chunk
+              with
+              | Io_util.Eof | Io_util.Closed -> conn.p_eof <- true
+              | Io_util.Read k -> Buffer.add_subbytes conn.p_inbuf chunk 0 k
+              | exception Fault.Injected _ -> conn.p_eof <- true)
+          live;
+        List.iter
+          (fun conn ->
+            List.iter (submit_line conn) (take_lines_buf conn.p_inbuf))
+          live;
+        List.iter flush_outbox !conns;
+        conns :=
+          List.filter
+            (fun conn ->
+              if (conn.p_eof || conn.p_dead) && conn.p_inflight = 0 then begin
+                (try Unix.close conn.p_fd with Unix.Unix_error _ -> ());
+                false
+              end
+              else true)
+            !conns;
+        tick_metrics ()
+  done;
+  (* Graceful drain: everything already submitted gets its response
+     written before the pool is shut down and the sockets close. *)
+  while List.exists (fun c -> c.p_inflight > 0) !conns do
+    (match Unix.select [ pipe_rd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ -> if ready <> [] then drain_pipe ());
+    List.iter flush_outbox !conns
+  done
+
+let run_socket ?(config = Session.default_config) ?metrics_file
+    ?(workers = 1) ~path () =
+  if workers <= 1 then run_socket_single ~config ?metrics_file ~path ()
+  else run_socket_pool ~config ?metrics_file ~path ~workers ()

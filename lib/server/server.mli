@@ -8,10 +8,15 @@
     - {!serve_fd} serves one already-connected file descriptor (one end
       of a socketpair, an inherited fd) until EOF — the loop the chaos
       harness drives;
-    - {!run_socket} serves a Unix-domain socket with a single-threaded
-      [select] event loop: every accepted connection gets its own
-      {!Session} (its own workspace) but all connections share one
-      {!Plan_cache}, so any client can hit plans another client warmed.
+    - {!run_socket} serves a Unix-domain socket.  With [workers = 1]
+      (the default) it is a single-threaded [select] event loop: every
+      accepted connection gets its own {!Session} (its own workspace)
+      but all connections share one {!Plan_cache}, so any client can
+      hit plans another client warmed.  With [workers > 1] the
+      accept/IO loop stays on the main domain and requests run on a
+      {!Worker_pool} of that many domains — one session per worker, the
+      plan cache still shared — with responses written back in arrival
+      order per connection (DESIGN.md §13).
 
     Robustness (DESIGN.md §11): every request runs under per-request
     exception isolation — a crashing handler produces an
@@ -67,10 +72,27 @@ val serve_fd :
     enable metrics; the caller owns both. *)
 
 val run_socket :
-  ?config:Session.config -> ?metrics_file:string -> path:string -> unit -> unit
+  ?config:Session.config ->
+  ?metrics_file:string ->
+  ?workers:int ->
+  path:string ->
+  unit ->
+  unit
 (** Bind, listen and serve [path] until SIGINT/SIGTERM, then drain.  A
     stale socket file left by a crashed server is replaced; any other
     existing file is an error ([Failure]).  The socket file is removed on
-    exit.  Each accepted connection's session reports the shared pending
-    queue's length as its [health] [inflight] count.  [metrics_file]
-    snapshots are written at startup, about every 2s, and at shutdown. *)
+    exit.  Sessions report the pending queue's length as their [health]
+    [inflight] count.  [metrics_file] snapshots are written at startup,
+    about every 2s, and at shutdown.
+
+    [workers] (default 1) selects the serving engine.  1 keeps the
+    historical single-threaded loop, byte-for-byte.  [> 1] runs requests
+    on that many worker domains: per-connection response order is still
+    arrival order (sequence-numbered reorder buffer), the in-flight
+    bound still sheds with [overloaded] (the shed response waits its
+    turn in the same order), the per-connection error budget is still
+    enforced (on the accept loop, from each response's status), and
+    SIGINT/SIGTERM still drain everything submitted before the pool
+    shuts down.  [route_batch] items additionally fan out across the
+    pool.  The [server_workers] gauge reports the mode;
+    [server_queue_depth] tracks the pool's backlog. *)

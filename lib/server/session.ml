@@ -94,16 +94,18 @@ type t = {
   started_ns : int64;
   session_id : int;
   inflight_probe : unit -> int;
+  pool : Worker_pool.t option;  (* fan route_batch items across workers *)
+  worker : int option;  (* owning worker's index, for access logs *)
   mutable served : int;
   mutable consecutive_errors : int;
   mutable last_cached : bool option;
   mutable last_access : access option;
 }
 
-let next_session_id = ref 0
+let next_session_id = Atomic.make 0
 
 let create ?(config = default_config) ?cache ?(inflight_probe = fun () -> 0)
-    () =
+    ?pool ?worker () =
   (* The grid engines register with qr_route itself; completing the
      registry here means a server embedded without the umbrella still
      serves ats/ats-serial (idempotent). *)
@@ -113,14 +115,15 @@ let create ?(config = default_config) ?cache ?(inflight_probe = fun () -> 0)
     | Some c -> c
     | None -> Plan_cache.create ~capacity:config.cache_capacity ()
   in
-  incr next_session_id;
   {
     config;
     cache;
     ws = Router_workspace.create ();
     started_ns = Timer.now_ns ();
-    session_id = !next_session_id;
+    session_id = 1 + Atomic.fetch_and_add next_session_id 1;
     inflight_probe;
+    pool;
+    worker;
     served = 0;
     consecutive_errors = 0;
     last_cached = None;
@@ -201,22 +204,21 @@ let routed t grid pi engine config =
       Metrics.incr c_cache_errors;
       None
   in
-  let ((_, cached) as result) =
-    match hit with
-    | None -> compute ()
-    | Some sched when not t.config.verify -> (sched, true)
-    | Some sched -> (
-        match
-          Router_registry.validate (Router_intf.Grid_input (grid, pi)) sched
-        with
-        | Ok () -> (sched, true)
-        | Error _ ->
-            Metrics.incr c_cache_invalid;
-            Plan_cache.remove t.cache key;
-            compute ())
-  in
-  t.last_cached <- Some cached;
-  result
+  (* [routed] itself leaves [t.last_cached] alone: batch items may run
+     it concurrently on several domains, and only the single-route path
+     feeds the access log's [cached] field. *)
+  match hit with
+  | None -> compute ()
+  | Some sched when not t.config.verify -> (sched, true)
+  | Some sched -> (
+      match
+        Router_registry.validate (Router_intf.Grid_input (grid, pi)) sched
+      with
+      | Ok () -> (sched, true)
+      | Error _ ->
+          Metrics.incr c_cache_invalid;
+          Plan_cache.remove t.cache key;
+          compute ())
 
 let do_route t deadline params =
   let* grid = parse_grid params in
@@ -229,6 +231,7 @@ let do_route t deadline params =
   let* config = parse_config params in
   Deadline.check deadline;
   let sched, cached = routed t grid pi engine config in
+  t.last_cached <- Some cached;
   Deadline.check deadline;
   Ok
     (Json.Obj
@@ -264,20 +267,36 @@ let do_route_batch t deadline params =
       (Overloaded_batch
          (Printf.sprintf "batch of %d exceeds max_batch %d" batch
             t.config.max_batch));
-  (* The deadline is checked between items: the finished prefix is
-     returned, and the unfinished tail gets per-item deadline_exceeded
-     errors — not one all-or-nothing failure for work already done. *)
+  (* The deadline is checked per item: finished items are returned, and
+     unfinished ones get per-item deadline_exceeded errors — not one
+     all-or-nothing failure for work already done. *)
+  let item pi =
+    match
+      Deadline.check deadline;
+      routed t grid pi engine config
+    with
+    | result -> Ok result
+    | exception Deadline.Exceeded ->
+        Error (P.error P.Deadline_exceeded "request deadline exceeded")
+  in
   let results =
-    List.map
-      (fun pi ->
-        match
-          Deadline.check deadline;
-          routed t grid pi engine config
-        with
-        | result -> Ok result
-        | exception Deadline.Exceeded ->
-            Error (P.error P.Deadline_exceeded "request deadline exceeded"))
-      perms
+    match t.pool with
+    | Some pool when batch > 1 ->
+        (* Fan the items across the worker pool.  Each item closure
+           carries this request's trace id onto whichever domain runs
+           it, so the whole batch's spans stay stamped; non-deadline
+           exceptions propagate out of [map_tasks] exactly as they
+           would from the serial loop. *)
+        let tid = Trace.trace_id () in
+        Worker_pool.map_tasks pool
+          (fun pi ->
+            let prev = Trace.trace_id () in
+            Trace.set_trace_id tid;
+            Fun.protect
+              ~finally:(fun () -> Trace.set_trace_id prev)
+              (fun () -> item pi))
+          perms
+    | _ -> List.map item perms
   in
   let completed =
     List.fold_left
@@ -499,6 +518,11 @@ let log_access t ~bytes =
           ]
         in
         let fields =
+          match t.worker with
+          | None -> fields
+          | Some w -> fields @ [ ("worker", Json.Int w) ]
+        in
+        let fields =
           match a.a_trace with
           | None -> fields
           | Some tc ->
@@ -530,7 +554,7 @@ let reject t ~meth err =
       };
   err
 
-let handle_line t line =
+let handle_line_status t line =
   t.last_access <- None;
   let response =
     match Json.of_string line with
@@ -550,7 +574,14 @@ let handle_line t line =
   in
   let rendered = Json.to_string response in
   log_access t ~bytes:(String.length rendered);
-  rendered
+  let errored =
+    match t.last_access with
+    | Some a -> a.a_status <> "ok"
+    | None -> false
+  in
+  (rendered, errored)
+
+let handle_line t line = fst (handle_line_status t line)
 
 let recovered_id line =
   match Json.of_string line with

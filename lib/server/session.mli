@@ -50,6 +50,8 @@ val create :
   ?config:config ->
   ?cache:Plan_cache.t ->
   ?inflight_probe:(unit -> int) ->
+  ?pool:Worker_pool.t ->
+  ?worker:int ->
   unit ->
   t
 (** A fresh session with its own workspace.  [cache] shares a cache
@@ -57,9 +59,20 @@ val create :
     connection); by default the session creates its own with
     [config.cache_capacity].  [inflight_probe] supplies the [health]
     report's [inflight] count (the socket server passes its pending
-    queue length; defaults to [fun () -> 0]).  Creation completes the
-    engine registry (registers the token-swapping engines), so a bare
-    [qr_server] link serves the full engine set. *)
+    queue length; defaults to [fun () -> 0]).  [pool] lets
+    [route_batch] fan its items across worker domains
+    ({!Worker_pool.map_tasks}); without it batches run serially as
+    before.  [worker] stamps the owning worker's index into every
+    access-log record ([worker=N]) in pool mode.  Creation completes
+    the engine registry (registers the token-swapping engines), so a
+    bare [qr_server] link serves the full engine set.
+
+    {b Domain safety} (DESIGN.md §13): a session is {e single-owner}
+    mutable state — create it on (or dedicate it to) the one domain
+    that calls [handle_line]; the multicore server keeps one session
+    per worker.  The cache shared between sessions is safe
+    ({!Plan_cache} locks internally); the workspace is per-session and
+    ownership-checked. *)
 
 val config : t -> config
 
@@ -90,6 +103,13 @@ val refresh_process_gauges : unit -> unit
 val handle_line : t -> string -> string
 (** One request line to one response line (no trailing newline): parse,
     validate, {!handle_request}, render. *)
+
+val handle_line_status : t -> string -> string * bool
+(** {!handle_line} plus whether the response was an error — the signal
+    the multicore server feeds its per-connection error budget, which
+    it tracks on the accept loop (worker sessions are shared between
+    connections, so {!consecutive_errors} can't be per-connection
+    there). *)
 
 val overloaded_response_line : string -> string
 (** The [overloaded] error response for a request line that was shed

@@ -45,11 +45,15 @@ let ats_serial =
     execute = Router_intf.execute_plan;
   }
 
-let registered = ref false
+(* Compare-and-set so concurrent [register] calls race safely: exactly
+   one caller performs the (init-time, single-threaded by convention —
+   see Router_registry's .mli) registration.  The engines themselves
+   hold no shared mutable state: every plan call works out of
+   call-local structures, so they are domain-safe once registered. *)
+let registered = Atomic.make false
 
 let register () =
-  if not !registered then begin
-    registered := true;
+  if Atomic.compare_and_set registered false true then begin
     Router_registry.register ats;
     Router_registry.register ats_serial
   end

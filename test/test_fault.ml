@@ -293,6 +293,22 @@ let test_read_chunk_eintr_and_reset () =
   checkb "orderly eof" true (Io_util.read_chunk b buf = Io_util.Eof);
   Unix.close b
 
+let test_read_chunk_eagain () =
+  (* A nonblocking-style wouldblock burst: read_chunk must spin through
+     injected EAGAIN/EWOULDBLOCK just like EINTR and still deliver the
+     bytes (the multicore server's accept loop reads nonblocking-ish
+     descriptors, so a stray EAGAIN must never surface as an error). *)
+  let a, b = socketpair () in
+  ignore (Unix.write_substring a "pong" 0 4);
+  let buf = Bytes.create 64 in
+  with_plan "r=raise(eagain)#2" (fun () ->
+      (match Io_util.read_chunk ~fault:"r" b buf with
+      | Io_util.Read 4 -> checks "data" "pong" (Bytes.sub_string buf 0 4)
+      | _ -> Alcotest.fail "expected Read 4 after the wouldblocks");
+      checki "two wouldblocks retried" 2 (Fault.fires "r"));
+  Unix.close a;
+  Unix.close b
+
 (* ------------------------------------------------------ verified routing *)
 
 (* A deliberately broken engine: always emits a single non-adjacent swap,
@@ -1028,6 +1044,8 @@ let () =
             test_write_all_injected_epipe;
           Alcotest.test_case "read retries and resets" `Quick
             test_read_chunk_eintr_and_reset;
+          Alcotest.test_case "read retries wouldblock" `Quick
+            test_read_chunk_eagain;
         ] );
       ( "verified",
         [
