@@ -14,6 +14,8 @@
                writes BENCH_phases.json
      parallel  route_batch throughput at 1/2/4/8 worker domains;
                writes BENCH_parallel.json
+     overload  cancellation-checkpoint overhead and adaptive-admission
+               behavior under a burst; writes BENCH_overload.json
      ablation  isolate each design choice of LocalGridRoute
      circuits  end-to-end transpilation of the motivating workloads
      realistic depth on permutations harvested from real transpilations
@@ -320,6 +322,142 @@ let parallel () =
   | Error msg ->
       failwith ("BENCH_parallel.json is not well-formed: " ^ msg));
   Printf.printf "(parallel scaling written to %s)\n" path
+
+(* ------------------------------------------------------------- overload *)
+
+(* The supervision plane under pressure, and the cost of being
+   supervisable.  Two measurements:
+
+   - {e checkpoint overhead}: the same routing workload with no cancel
+     token vs a live (never-fired) ambient token — the per-poll cost of
+     the cooperative-cancellation checkpoints, which DESIGN.md §14
+     promises is noise;
+   - {e burst behavior}: a burst several times the pool's queue bound is
+     pushed through a worker pool under a supervisor with an adaptive
+     queue-delay target; we record how many requests completed vs were
+     shed, the retry hints handed out, and the completed requests'
+     latency tail.  This is the shape of the serve-loop's admission
+     logic ([Server.run_socket --workers N --queue-delay-ms T]) without
+     the sockets.
+
+   Writes BENCH_overload.json. *)
+let overload () =
+  header "Overload: cancellation overhead and adaptive admission";
+  let grid = Grid.make ~rows:16 ~cols:16 in
+  let n = Grid.size grid in
+  let engine = Router_registry.get "local" in
+  let perms =
+    List.init 48 (fun i ->
+        Generators.generate grid Generators.Random (Rng.create (23000 + i)))
+  in
+  let route pi = Router_intf.route_grid engine grid pi in
+  let time_all label f =
+    ignore (List.map f perms);
+    (* warm-up *)
+    let _, seconds = Timer.time (fun () -> ignore (List.map f perms)) in
+    let per_route_ms = seconds /. float_of_int (List.length perms) *. 1e3 in
+    Printf.printf "%-24s %10.3f ms/route\n" label per_route_ms;
+    per_route_ms
+  in
+  let bare_ms = time_all "no cancel token" route in
+  let watched_ms =
+    time_all "live ambient token" (fun pi ->
+        Cancel.with_ambient (Cancel.create ()) (fun () -> route pi))
+  in
+  let overhead_pct = (watched_ms -. bare_ms) /. bare_ms *. 100. in
+  Printf.printf "checkpoint overhead: %+.1f%%\n" overhead_pct;
+  (* Burst: queue bound 16, 4 workers, 160 submissions.  The supervisor
+     sheds on queue-delay EWMA; the pool's hard bound sheds the rest. *)
+  let workers = 4 and queue_bound = 16 and burst = 160 in
+  let sup = Supervisor.create ~queue_delay_target_ms:2 ~workers () in
+  let pool = Worker_pool.create ~queue_bound ~workers () in
+  let completed = ref 0 and shed = ref 0 and hints = ref [] in
+  let mutex = Mutex.create () in
+  let latencies = ref [] in
+  let submit i =
+    let pi = List.nth perms (i mod List.length perms) in
+    let submitted_ns = Timer.now_ns () in
+    match Supervisor.should_shed sup with
+    | Some hint ->
+        Mutex.lock mutex;
+        incr shed;
+        hints := hint :: !hints;
+        Mutex.unlock mutex
+    | None ->
+        let job () =
+          Supervisor.note_queue_delay sup
+            (Int64.sub (Timer.now_ns ()) submitted_ns);
+          let sched, seconds = Timer.time (fun () -> route pi) in
+          assert (Schedule.realizes ~n sched pi);
+          Mutex.lock mutex;
+          incr completed;
+          latencies := seconds :: !latencies;
+          Mutex.unlock mutex
+        in
+        if not (Worker_pool.submit pool job) then begin
+          Mutex.lock mutex;
+          incr shed;
+          hints := Supervisor.retry_hint_ms sup :: !hints;
+          Mutex.unlock mutex
+        end
+  in
+  let _, wall = Timer.time (fun () ->
+      for i = 0 to burst - 1 do
+        submit i
+      done;
+      Worker_pool.shutdown pool)
+  in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let p50 = if Array.length lat = 0 then nan else Stats.percentile lat 50. in
+  let p99 = if Array.length lat = 0 then nan else Stats.percentile lat 99. in
+  let mean_hint =
+    match !hints with
+    | [] -> 0.
+    | l ->
+        float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  Printf.printf
+    "burst %d through %d workers (bound %d): %d completed, %d shed, mean \
+     retry hint %.0f ms, p50 %.3f ms, p99 %.3f ms\n"
+    burst workers queue_bound !completed !shed mean_hint (p50 *. 1e3)
+    (p99 *. 1e3);
+  if !completed + !shed <> burst then
+    failwith "overload bench lost requests: completed + shed <> burst";
+  let doc =
+    Obs_json.Obj
+      [
+        ("grid_side", Obs_json.Int 16);
+        ("strategy", Obs_json.String "local");
+        ("cancel_overhead_pct", Obs_json.Float overhead_pct);
+        ("bare_ms_per_route", Obs_json.Float bare_ms);
+        ("watched_ms_per_route", Obs_json.Float watched_ms);
+        ( "burst",
+          Obs_json.Obj
+            [
+              ("submissions", Obs_json.Int burst);
+              ("workers", Obs_json.Int workers);
+              ("queue_bound", Obs_json.Int queue_bound);
+              ("queue_delay_target_ms", Obs_json.Int 2);
+              ("completed", Obs_json.Int !completed);
+              ("shed", Obs_json.Int !shed);
+              ("mean_retry_hint_ms", Obs_json.Float mean_hint);
+              ("wall_s", Obs_json.Float wall);
+              ("p50_ms", Obs_json.Float (p50 *. 1e3));
+              ("p99_ms", Obs_json.Float (p99 *. 1e3));
+            ] );
+      ]
+  in
+  let path = "BENCH_overload.json" in
+  Out_channel.with_open_text path (fun oc -> Obs_json.to_channel oc doc);
+  let content = In_channel.with_open_text path In_channel.input_all in
+  (match Obs_json.of_string content with
+  | Ok parsed ->
+      if not (Obs_json.equal parsed doc) then
+        failwith "BENCH_overload.json did not round-trip"
+  | Error msg ->
+      failwith ("BENCH_overload.json is not well-formed: " ^ msg));
+  Printf.printf "(overload behavior written to %s)\n" path
 
 (* ------------------------------------------------------------- ablations *)
 
@@ -761,6 +899,7 @@ let () =
   | "fig5" -> fig5 sides
   | "phases" -> phases sides
   | "parallel" -> parallel ()
+  | "overload" -> overload ()
   | "ablation" -> ablations ()
   | "circuits" -> circuits ()
   | "realistic" -> realistic ()
@@ -770,11 +909,12 @@ let () =
       fig5 sides;
       phases sides;
       parallel ();
+      overload ();
       ablations ();
       circuits ();
       realistic ();
       micro ()
   | other ->
-      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|parallel|ablation|circuits|realistic|micro|all)\n"
+      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|parallel|overload|ablation|circuits|realistic|micro|all)\n"
         other;
       exit 1

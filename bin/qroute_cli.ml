@@ -554,8 +554,78 @@ let serve_cmd =
              pool of N domains, with per-connection response order \
              preserved and route_batch items fanned across the pool.")
   in
+  let max_line_bytes =
+    Arg.(
+      value & opt int Server_session.default_config.max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Largest request line (or buffered partial line) a connection \
+             may send; past it the server replies $(b,invalid_request) and \
+             closes the connection.")
+  in
+  let hung_request_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hung-request-ms" ] ~docv:"MS"
+          ~doc:
+            "Watchdog budget (pool mode): a request running longer is \
+             cancelled cooperatively; a worker that then stops making \
+             progress is declared lost, its client gets \
+             $(b,internal_error), and the domain is respawned \
+             ($(b,server_hung_requests), $(b,server_worker_restarts)).")
+  in
+  let queue_delay_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-delay-ms" ] ~docv:"MS"
+          ~doc:
+            "Adaptive admission target (pool mode): when the measured queue \
+             delay EWMA exceeds $(docv), new requests are shed with \
+             $(b,overloaded) plus a $(b,retry_after_ms) hint.")
+  in
+  let max_rss_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rss-mb" ] ~docv:"MB"
+          ~doc:
+            "Memory brownout threshold: past this max-RSS high-water mark \
+             the plan cache is shrunk and batch requests rejected.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Trip an engine's circuit breaker open after $(docv) failures \
+             in its rolling outcome window (requires \
+             $(b,--verify-schedules); 0 disables breakers).")
+  in
+  let breaker_cooldown_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a tripped breaker stays open before admitting \
+             half-open probe requests.")
+  in
   let run stdio socket workers cache_capacity max_batch max_inflight verify
-      error_budget metrics_file log_level log_format =
+      error_budget max_line_bytes hung_request_ms queue_delay_ms max_rss_mb
+      breaker_threshold breaker_cooldown_ms metrics_file log_level log_format
+      =
+    let breaker =
+      if breaker_threshold <= 0 then None
+      else
+        Some
+          {
+            Qr_route.Breaker.default_config with
+            Qr_route.Breaker.threshold = breaker_threshold;
+            window = max Qr_route.Breaker.default_config.window breaker_threshold;
+            cooldown_ns = Int64.mul (Int64.of_int (max 1 breaker_cooldown_ms)) 1_000_000L;
+          }
+    in
     let config =
       {
         Server_session.cache_capacity;
@@ -563,6 +633,11 @@ let serve_cmd =
         max_inflight;
         verify;
         error_budget;
+        max_line_bytes;
+        hung_request_ms;
+        queue_delay_target_ms = queue_delay_ms;
+        max_rss_mb;
+        breaker;
       }
     in
     (* Server mode raises the default level to Info: access logs go to
@@ -616,7 +691,9 @@ let serve_cmd =
          ])
     Term.(
       const run $ stdio $ socket_arg $ workers $ cache_capacity $ max_batch
-      $ max_inflight $ verify $ error_budget $ metrics_file_arg
+      $ max_inflight $ verify $ error_budget $ max_line_bytes
+      $ hung_request_ms $ queue_delay_ms $ max_rss_mb $ breaker_threshold
+      $ breaker_cooldown_ms $ metrics_file_arg
       $ log_level_arg ~default:Log.Info $ log_format_arg)
 
 (* ---------------------------------------------------------------- request *)

@@ -1,4 +1,5 @@
 module Metrics = Qr_obs.Metrics
+module Cancel = Qr_util.Cancel
 
 type result = {
   size : int;
@@ -66,6 +67,10 @@ let build_adjacency ws ~nl ~nr ~edges =
 
 let solve_in ws ~nl ~nr ~edges =
   Metrics.incr c_calls;
+  (* Cooperative cancellation (DESIGN.md §14): fetched once per solve,
+     polled once per BFS phase — the unit of work that is bounded for any
+     single instance but repeated without bound across a band search. *)
+  let cancel = Cancel.ambient () in
   let ws = match ws with Some ws -> ws | None -> make_workspace () in
   build_adjacency ws ~nl ~nr ~edges;
   let offsets = ws.offsets and adj = ws.store in
@@ -130,7 +135,10 @@ let solve_in ws ~nl ~nr ~edges =
     try_edges offsets.(l)
   in
   let size = ref 0 in
-  while bfs () do
+  while
+    Cancel.poll cancel;
+    bfs ()
+  do
     Metrics.incr c_phases;
     for l = 0 to nl - 1 do
       if left_match.(l) = -1 && dfs l then begin

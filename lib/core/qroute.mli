@@ -69,6 +69,9 @@ module Plan_cache = Qr_server.Plan_cache
 module Deadline = Qr_server.Deadline
 module Io_util = Qr_server.Io_util
 module Worker_pool = Qr_server.Worker_pool
+module Cancel = Qr_util.Cancel
+module Breaker = Qr_route.Breaker
+module Supervisor = Qr_server.Supervisor
 
 (** {2 Routing strategies}
 

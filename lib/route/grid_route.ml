@@ -2,6 +2,7 @@ module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
 module Decompose = Qr_bipartite.Decompose
 module Trace = Qr_obs.Trace
+module Cancel = Qr_util.Cancel
 
 type sigmas = int array array
 
@@ -87,6 +88,10 @@ let apply_layers token_at layers =
 let route_rounds grid pi sigmas =
   if not (check_sigmas grid pi sigmas) then
     invalid_arg "Grid_route.route_with_sigmas: invalid sigmas";
+  (* Rounds are few but each scans the whole grid; one checkpoint per
+     round bounds the overshoot past an expired deadline. *)
+  let cancel = Cancel.ambient () in
+  Cancel.poll cancel;
   let m = Grid.rows grid and n = Grid.cols grid in
   let token_at = Array.init (Grid.size grid) (fun v -> v) in
   (* Round 1: columns, qubit at (i,j) goes to row sigmas.(j).(i). *)
@@ -107,6 +112,7 @@ let route_rounds grid pi sigmas =
   (* Round 2: rows, to destination columns. *)
   let round2 =
     Trace.with_span "round2_rows" (fun () ->
+        Cancel.poll cancel;
         let row_lines =
           List.init m (fun r ->
               let dests =
@@ -126,6 +132,7 @@ let route_rounds grid pi sigmas =
   (* Round 3: columns, to destination rows. *)
   let round3 =
     Trace.with_span "round3_columns" (fun () ->
+        Cancel.poll cancel;
         let column_lines' =
           List.init n (fun j ->
               let dests =

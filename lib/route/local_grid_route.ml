@@ -6,6 +6,7 @@ module Decompose = Qr_bipartite.Decompose
 module Bottleneck = Qr_bipartite.Bottleneck
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Cancel = Qr_util.Cancel
 
 type discovery = Doubling | Fixed_band of int | Whole
 
@@ -33,8 +34,10 @@ let delta cg matching r =
    [lo..hi] until none remains; kill the edges of each matching found. *)
 let drain_band hk cg ~live ~lo ~hi found =
   let n = Column_graph.cols cg in
+  let cancel = Cancel.ambient () in
   let continue_ = ref true in
   while !continue_ do
+    Cancel.poll cancel;
     let band = Column_graph.edges_in_band cg ~live ~lo ~hi in
     if List.length band < n then continue_ := false
     else begin
@@ -58,6 +61,7 @@ let drain_band hk cg ~live ~lo ~hi found =
 
 let discover_doubling ?hk ?(initial_width = 0) cg =
   let m = Column_graph.rows cg in
+  let cancel = Cancel.ambient () in
   let live = Array.make (Column_graph.num_edges cg) true in
   let found = ref [] in
   let w = ref initial_width in
@@ -66,6 +70,7 @@ let discover_doubling ?hk ?(initial_width = 0) cg =
     let r0 = ref 0 in
     while !r0 < m && List.length !found < m do
       Metrics.incr c_band_windows;
+      Cancel.poll cancel;
       let hi = min (!r0 + !w) (m - 1) in
       drain_band hk cg ~live ~lo:!r0 ~hi found;
       r0 := !r0 + !w + 1

@@ -11,14 +11,24 @@ let order : string list ref = ref []
 (* The [engine.plan]/[engine.execute] fault points live inside the leaf
    engines, attached here at registration time — not in the callers — so
    resilience wrappers like {!verified} observe their children's injected
-   faults instead of being re-injected themselves. *)
+   faults instead of being re-injected themselves.  Alongside the
+   generic points each engine gets name-qualified ones —
+   [engine.plan.<name>] and [engine.slow]/[engine.slow.<name>] — so a
+   chaos plan can break or slow exactly one engine (say the primary)
+   while its fallback chain stays healthy; that is what lets a test trip
+   one circuit breaker deterministically. *)
 let with_fault_points (engine : Router_intf.t) =
+  let plan_point = "engine.plan." ^ engine.Router_intf.name in
+  let slow_point = "engine.slow." ^ engine.Router_intf.name in
   {
     engine with
     Router_intf.plan =
       (fun ws config input ->
-        Fault.point "engine.plan" ~f:(fun () ->
-            engine.Router_intf.plan ws config input));
+        Fault.point "engine.slow" ~f:(fun () ->
+            Fault.point slow_point ~f:(fun () ->
+                Fault.point "engine.plan" ~f:(fun () ->
+                    Fault.point plan_point ~f:(fun () ->
+                        engine.Router_intf.plan ws config input)))));
     execute =
       (fun plan ->
         Fault.point "engine.execute" ~f:(fun () ->
@@ -127,58 +137,91 @@ let note_verify_failure ~engine ~reason =
    routing invariant (valid matchings realizing pi) before it can
    escape.  An invalid schedule or a raising engine degrades through
    [chain] — each candidate verified the same way — and only when the
-   whole chain is exhausted does the wrapper raise. *)
-let verified ?(chain = default_verify_chain) engine =
+   whole chain is exhausted does the wrapper raise.  With [breaker],
+   every primary outcome feeds the engine's circuit breaker, and an
+   open breaker skips the primary entirely (straight to the chain) —
+   the misbehaving engine stops charging a full failure per request. *)
+let verified ?(chain = default_verify_chain) ?breaker engine =
   let attempt ws config input candidate =
     match Router_intf.run_plan ?ws candidate config input with
     | sched -> (
         match validate input sched with
         | Ok () -> Ok sched
         | Error _ as e -> e)
+    (* Cancellation is the request's verdict, not the engine's: it must
+       not count as an engine failure, feed the breaker, or start a
+       degradation walk that would only raise [Cancelled] again. *)
+    | exception (Qr_util.Cancel.Cancelled _ as exn) -> raise exn
     | exception exn -> Error (Printexc.to_string exn)
   in
+  let degrade ws config input reason =
+    let graph_input =
+      match input with
+      | Router_intf.Graph_input _ -> true
+      | Router_intf.Grid_input _ -> false
+    in
+    let rec go = function
+      | [] ->
+          raise
+            (Verification_failed { engine = engine.Router_intf.name; reason })
+      | name :: rest -> (
+          let candidate =
+            if name = engine.Router_intf.name then None
+            else
+              match find name with
+              | Some e when e.Router_intf.capabilities.grid_only && graph_input
+                ->
+                  None
+              | c -> c
+          in
+          match candidate with
+          | None -> go rest
+          | Some fallback -> (
+              match attempt ws config input fallback with
+              | Ok sched ->
+                  Atomic.incr degradations_total;
+                  Metrics.incr c_degraded;
+                  Trace.add_attr "degraded_to"
+                    (Trace.String fallback.Router_intf.name);
+                  Router_intf.Ready sched
+              | Error reason ->
+                  note_verify_failure ~engine:fallback.Router_intf.name ~reason;
+                  go rest))
+    in
+    go chain
+  in
+  let settle ticket ~ok =
+    match (breaker, ticket) with
+    | None, _ -> ()
+    | Some b, `Admit -> Breaker.record b ~ok
+    | Some b, `Probe -> Breaker.record_probe b ~ok
+  in
   let plan ws config input =
-    match attempt ws config input engine with
-    | Ok sched -> Router_intf.Ready sched
-    | Error reason ->
-        note_verify_failure ~engine:engine.Router_intf.name ~reason;
-        let graph_input =
-          match input with
-          | Router_intf.Graph_input _ -> true
-          | Router_intf.Grid_input _ -> false
-        in
-        let rec degrade = function
-          | [] ->
-              raise
-                (Verification_failed
-                   { engine = engine.Router_intf.name; reason })
-          | name :: rest -> (
-              let candidate =
-                if name = engine.Router_intf.name then None
-                else
-                  match find name with
-                  | Some e
-                    when e.Router_intf.capabilities.grid_only && graph_input
-                    ->
-                      None
-                  | c -> c
-              in
-              match candidate with
-              | None -> degrade rest
-              | Some fallback -> (
-                  match attempt ws config input fallback with
-                  | Ok sched ->
-                      Atomic.incr degradations_total;
-                      Metrics.incr c_degraded;
-                      Trace.add_attr "degraded_to"
-                        (Trace.String fallback.Router_intf.name);
-                      Router_intf.Ready sched
-                  | Error reason ->
-                      note_verify_failure
-                        ~engine:fallback.Router_intf.name ~reason;
-                      degrade rest))
-        in
-        degrade chain
+    let ticket =
+      match breaker with None -> `Admit | Some b -> Breaker.admit b
+    in
+    match ticket with
+    | `Reject ->
+        (* Breaker open: don't even invoke the primary.  Not a verify
+           failure — the rejection tally lives on the breaker. *)
+        Trace.add_attr "breaker_rejected" (Trace.Bool true);
+        degrade ws config input "circuit breaker open"
+    | (`Admit | `Probe) as ticket -> (
+        match attempt ws config input engine with
+        | Ok sched ->
+            settle ticket ~ok:true;
+            Router_intf.Ready sched
+        | Error reason ->
+            settle ticket ~ok:false;
+            note_verify_failure ~engine:engine.Router_intf.name ~reason;
+            degrade ws config input reason
+        | exception (Qr_util.Cancel.Cancelled _ as exn) ->
+            (* Hand the probe slot back unjudged so the breaker doesn't
+               stay half-open waiting on a probe that will never report. *)
+            (match (breaker, ticket) with
+            | Some b, `Probe -> Breaker.abandon_probe b
+            | _ -> ());
+            raise exn)
   in
   { engine with Router_intf.plan; execute = Router_intf.execute_plan }
 

@@ -19,10 +19,12 @@
 val register : Router_intf.t -> unit
 (** Add an engine.  Registration order is preserved by {!names}/{!all}.
     The stored engine's plan/execute are wrapped in the [engine.plan] /
-    [engine.execute] fault points ({!Qr_fault.Fault}), so injection
-    plans target the leaf computations — resilience wrappers like
-    {!verified} built on top observe their children's faults instead of
-    being re-injected themselves.
+    [engine.execute] fault points ({!Qr_fault.Fault}) plus the
+    name-qualified [engine.plan.<name>] and
+    [engine.slow] / [engine.slow.<name>] points, so injection plans can
+    target the leaf computations — or one specific engine — while
+    resilience wrappers like {!verified} built on top observe their
+    children's faults instead of being re-injected themselves.
     @raise Invalid_argument on a duplicate or empty name. *)
 
 val find : string -> Router_intf.t option
@@ -70,7 +72,8 @@ val validate : Router_intf.input -> Schedule.t -> (unit, string) result
     permutation ({!Schedule.realizes}).  The error says which half
     failed. *)
 
-val verified : ?chain:string list -> Router_intf.t -> Router_intf.t
+val verified :
+  ?chain:string list -> ?breaker:Breaker.t -> Router_intf.t -> Router_intf.t
 (** [verified engine] routes with [engine], checks the result with
     {!validate}, and on an invalid schedule {e or} a raising engine
     retries down [chain] (default [["ats"; "naive"]]; the wrapped
@@ -80,7 +83,14 @@ val verified : ?chain:string list -> Router_intf.t -> Router_intf.t
     and records a [degraded_to] span attribute.  Exhausting the chain
     raises {!Verification_failed}.  The wrapper keeps the engine's name
     and capabilities, so plan-cache keys and span attributes are
-    unchanged. *)
+    unchanged.
+
+    With [breaker], the primary engine's outcome feeds the circuit
+    breaker on every request, and while the breaker is open the primary
+    is skipped entirely — the request degrades straight down [chain]
+    (a [breaker_rejected] span attribute marks it; the chain exhausting
+    still raises {!Verification_failed}).  Fallback outcomes never feed
+    the breaker — it judges only the engine it guards. *)
 
 val verify_failures : unit -> int
 (** Process-wide count of verification failures (primary or fallback),

@@ -29,3 +29,23 @@ val reusable_cg : t option -> Column_graph.t option
 
 val hk : t option -> Qr_bipartite.Hopcroft_karp.workspace option
 (** The Hopcroft–Karp scratch, if a workspace is present. *)
+
+(** {2 Cooperative cancellation}
+
+    The serving layer attaches the in-flight request's
+    {!Qr_util.Cancel.t} to the workspace; {!Router_intf.route} installs
+    it as the ambient token for the duration of the call so the planning
+    hot loops observe deadlines and supervisor kills.  Unlike the
+    scratch-buffer accessors, these deliberately skip the ownership
+    check: a batch item fanned out to another pool domain shares the
+    originating request's workspace reference, and the token itself is
+    domain-safe (the kill flag is atomic, the poll stride a benign
+    race).  Degrading off-domain would drop cancellation for exactly
+    the requests the pool parallelizes. *)
+
+val set_cancel : t -> Qr_util.Cancel.t -> unit
+(** Attach the current request's token ({!Qr_util.Cancel.none} to
+    detach when the request settles). *)
+
+val cancel : t option -> Qr_util.Cancel.t
+(** The attached token, or {!Qr_util.Cancel.none} without a workspace. *)

@@ -11,9 +11,23 @@ let () =
 
 let none : t = None
 
+(* Saturating arithmetic: a budget like [max_int] ms must clamp to the
+   far future, not wrap past the monotonic clock into the past (which
+   would expire the request instantly). *)
 let after_ms ms =
-  let budget_ns = Int64.mul (Int64.of_int (max 0 ms)) 1_000_000L in
-  Some (Int64.add (Timer.now_ns ()) budget_ns)
+  let ms = Int64.of_int (max 0 ms) in
+  let budget_ns =
+    if Int64.compare ms (Int64.div Int64.max_int 1_000_000L) > 0 then
+      Int64.max_int
+    else Int64.mul ms 1_000_000L
+  in
+  let now = Timer.now_ns () in
+  let at =
+    if Int64.compare budget_ns (Int64.sub Int64.max_int now) > 0 then
+      Int64.max_int
+    else Int64.add now budget_ns
+  in
+  Some at
 
 let of_budget_ms = function None -> none | Some ms -> after_ms ms
 
@@ -22,6 +36,8 @@ let expired = function
   | Some at -> Timer.now_ns () >= at
 
 let check t = if expired t then raise Exceeded
+
+let absolute_ns = function None -> None | Some at -> Some at
 
 let remaining_ms = function
   | None -> None

@@ -23,7 +23,8 @@ val none : t
 
 val after_ms : int -> t
 (** Expires [ms] milliseconds from now; budgets [<= 0] are already
-    expired. *)
+    expired.  Very large budgets saturate at the far future instead of
+    wrapping past the monotonic clock. *)
 
 val of_budget_ms : int option -> t
 (** [None] is {!none} — the envelope's optional [deadline_ms] field. *)
@@ -35,3 +36,8 @@ val check : t -> unit
 
 val remaining_ms : t -> int option
 (** Milliseconds left (clamped at 0); [None] for {!none}. *)
+
+val absolute_ns : t -> int64 option
+(** The absolute monotonic expiry instant; [None] for {!none}.  This is
+    what {!Session} hands to {!Qr_util.Cancel.set_deadline_ns} so the
+    routing hot loops can abort mid-plan. *)

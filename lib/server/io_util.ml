@@ -10,9 +10,12 @@ let write_all ?fault fd s =
   let rec go pos =
     if pos >= n then Ok ()
     else
+      (* The clamp keeps the retry loop terminating even if a faulted
+         (or future buggy) length comes back as 0: a zero-length write
+         would succeed, advance nothing, and spin forever. *)
       let len =
         match fault with
-        | Some name -> Fault.truncate name (n - pos)
+        | Some name -> max 1 (Fault.truncate name (n - pos))
         | None -> n - pos
       in
       match with_fault fault (fun () -> Unix.write_substring fd s pos len) with

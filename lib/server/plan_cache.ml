@@ -41,6 +41,7 @@ type entry = {
    the mutex held. *)
 type t = {
   capacity : int;
+  mutable limit : int;  (* soft cap <= capacity; brownout shrinks it *)
   mutex : Mutex.t;
   table : (key, entry) Hashtbl.t;
   mutable head : entry option;
@@ -54,6 +55,7 @@ let create ?(capacity = 128) () =
   if capacity < 0 then invalid_arg "Plan_cache.create: negative capacity";
   {
     capacity;
+    limit = capacity;
     mutex = Mutex.create ();
     table = Hashtbl.create (max 16 capacity);
     head = None;
@@ -125,7 +127,7 @@ let evict_lru t =
 
 let add t k v =
   Fault.point "cache.insert" ~f:(fun () -> ());
-  if t.capacity > 0 then
+  if t.limit > 0 then
     locked t @@ fun () ->
     (match Hashtbl.find_opt t.table k with
     | Some old ->
@@ -135,7 +137,19 @@ let add t k v =
     let e = { e_key = k; value = v; prev = None; next = None } in
     push_front t e;
     Hashtbl.replace t.table k e;
-    if Hashtbl.length t.table > t.capacity then evict_lru t
+    while Hashtbl.length t.table > t.limit do
+      evict_lru t
+    done
+
+let limit t = t.limit
+
+let set_limit t n =
+  if n < 0 then invalid_arg "Plan_cache.set_limit: negative limit";
+  locked t @@ fun () ->
+  t.limit <- min n t.capacity;
+  while Hashtbl.length t.table > t.limit do
+    evict_lru t
+  done
 
 let find_or_add t k compute =
   match find t k with

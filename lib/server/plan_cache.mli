@@ -43,6 +43,19 @@ val create : ?capacity:int -> unit -> t
     misses, nothing is stored).  @raise Invalid_argument when negative. *)
 
 val capacity : t -> int
+(** The configured (hard) capacity, fixed at {!create}. *)
+
+val limit : t -> int
+(** The effective (soft) capacity — equal to {!capacity} unless lowered
+    by {!set_limit}. *)
+
+val set_limit : t -> int -> unit
+(** Shrink (or restore, up to {!capacity}) the effective capacity,
+    evicting least-recently-used entries down to the new limit — the
+    memory-brownout lever ({!Supervisor}): a browned-out server keeps
+    serving but stops holding plans.  A limit of 0 disables caching.
+    Evictions count as evictions.  @raise Invalid_argument when
+    negative. *)
 
 val length : t -> int
 

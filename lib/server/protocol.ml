@@ -37,9 +37,13 @@ let all_codes =
 let code_of_string s =
   List.find_opt (fun c -> code_to_string c = s) all_codes
 
-type error = { code : error_code; message : string }
+type error = {
+  code : error_code;
+  message : string;
+  retry_after_ms : int option;
+}
 
-let error code message = { code; message }
+let error ?retry_after_ms code message = { code; message; retry_after_ms }
 
 (* ------------------------------------------------------------- requests *)
 
@@ -153,12 +157,16 @@ let response_meta ?trace ?server_ms fields =
 let ok_response ?trace ?server_ms ~id result =
   Json.Obj (response_meta ?trace ?server_ms [ ("id", id); ("result", result) ])
 
-let error_to_json { code; message } =
-  Json.Obj
+let error_to_json { code; message; retry_after_ms } =
+  let fields =
     [
       ("code", Json.String (code_to_string code));
       ("message", Json.String message);
     ]
+  in
+  match retry_after_ms with
+  | None -> Json.Obj fields
+  | Some ms -> Json.Obj (fields @ [ ("retry_after_ms", Json.Int ms) ])
 
 let error_response ?trace ?server_ms ~id err =
   Json.Obj
@@ -191,7 +199,10 @@ let response_result json =
             Option.bind (Json.member "message" err) Json.get_string
             |> Option.value ~default:(Json.to_string err)
           in
-          Error (error code message)
+          let retry_after_ms =
+            Option.bind (Json.member "retry_after_ms" err) Json.get_int
+          in
+          Error (error ?retry_after_ms code message)
       | None ->
           Error
             (error Internal_error

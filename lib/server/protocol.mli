@@ -44,9 +44,16 @@ val code_to_string : error_code -> string
 
 val code_of_string : string -> error_code option
 
-type error = { code : error_code; message : string }
+type error = {
+  code : error_code;
+  message : string;
+  retry_after_ms : int option;
+      (** Backpressure hint on [Overloaded] sheds: how long the client
+          should wait before retrying.  Serialized as a
+          [retry_after_ms] field inside the error object. *)
+}
 
-val error : error_code -> string -> error
+val error : ?retry_after_ms:int -> error_code -> string -> error
 
 (** {2 Request envelopes} *)
 

@@ -2,12 +2,17 @@ module Metrics = Qr_obs.Metrics
 module Log = Qr_obs.Log
 module Json = Qr_obs.Json
 module Timer = Qr_util.Timer
+module Cancel = Qr_util.Cancel
 module Fault = Qr_fault.Fault
 
 let c_connections = Metrics.counter "server_connections"
 let c_shed = Metrics.counter "server_shed_requests"
 let c_crashed = Metrics.counter "server_crashed_requests"
 let c_budget_closes = Metrics.counter "server_error_budget_closes"
+
+let c_oversized =
+  Metrics.counter "server_oversized_lines"
+    ~help:"Connections closed for exceeding max-line-bytes."
 
 let g_workers =
   Metrics.gauge "server_workers"
@@ -118,25 +123,36 @@ let respond config conn line =
   end
 
 (* Move complete lines out of an input buffer; the trailing fragment
-   (no newline yet) stays for the next read. *)
-let take_lines_buf inbuf =
+   (no newline yet) stays for the next read.  Stops at the first line
+   longer than [limit] — the in-bound lines before it are returned for
+   normal processing and [`Oversized] tells the caller to answer
+   [invalid_request] and close.  A trailing fragment past the limit
+   trips the same way: the buffer must never grow without bound while
+   waiting for a newline that may never come. *)
+let take_lines_buf inbuf ~limit =
   let data = Buffer.contents inbuf in
   Buffer.clear inbuf;
   let n = String.length data in
   let lines = ref [] in
   let start = ref 0 in
+  let oversized = ref false in
   (try
-     while true do
+     while not !oversized do
        let i = String.index_from data !start '\n' in
-       let line = String.sub data !start (i - !start) in
-       start := i + 1;
-       if String.trim line <> "" then lines := line :: !lines
+       if i - !start > limit then oversized := true
+       else begin
+         let line = String.sub data !start (i - !start) in
+         start := i + 1;
+         if String.trim line <> "" then lines := line :: !lines
+       end
      done
    with Not_found -> ());
-  Buffer.add_substring inbuf data !start (n - !start);
-  List.rev !lines
+  if (not !oversized) && n - !start > limit then oversized := true;
+  if not !oversized then Buffer.add_substring inbuf data !start (n - !start);
+  if !oversized then `Oversized (List.rev !lines) else `Lines (List.rev !lines)
 
-let take_lines conn = take_lines_buf conn.inbuf
+let take_lines config conn =
+  take_lines_buf conn.inbuf ~limit:config.Session.max_line_bytes
 
 (* ------------------------------------------------- single-connection loop *)
 
@@ -149,9 +165,15 @@ let serve_fd ?(config = Session.default_config) ?session fd =
   while not conn.eof do
     match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
     | Io_util.Eof | Io_util.Closed -> conn.eof <- true
-    | Io_util.Read k ->
+    | Io_util.Read k -> (
         Buffer.add_subbytes conn.inbuf chunk 0 k;
-        List.iter (fun line -> respond config conn line) (take_lines conn)
+        match take_lines config conn with
+        | `Lines lines -> List.iter (fun line -> respond config conn line) lines
+        | `Oversized lines ->
+            List.iter (fun line -> respond config conn line) lines;
+            Metrics.incr c_oversized;
+            send conn (Session.oversized_response_line ());
+            conn.eof <- true)
     | exception Fault.Injected _ -> conn.eof <- true
   done
 
@@ -235,17 +257,25 @@ let run_socket_single ~config ?metrics_file ~path () =
           !conns;
         (* Stage complete lines in the bounded in-flight queue; requests
            pipelined past the bound are shed with [overloaded] right
-           away rather than queued without limit. *)
+           away rather than queued without limit.  An oversized line
+           queues a close marker behind the conn's staged lines, so the
+           [invalid_request] goodbye still leaves in arrival order. *)
         List.iter
           (fun conn ->
+            let lines, oversized =
+              match take_lines config conn with
+              | `Lines lines -> (lines, false)
+              | `Oversized lines -> (lines, true)
+            in
             List.iter
               (fun line ->
                 if Queue.length pending >= config.Session.max_inflight then begin
                   Metrics.incr c_shed;
                   send conn (Session.overloaded_response_line line)
                 end
-                else Queue.add (conn, line) pending)
-              (take_lines conn))
+                else Queue.add (conn, `Line line) pending)
+              lines;
+            if oversized then Queue.add (conn, `Oversized) pending)
           !conns;
         (* Drain: answer everything queued this cycle, in arrival order.
            The queue is empty again before the next poll, so a SIGTERM
@@ -255,8 +285,12 @@ let run_socket_single ~config ?metrics_file ~path () =
            but must still get its responses; [send] absorbs the EPIPE if
            the client is really gone. *)
         while not (Queue.is_empty pending) do
-          let conn, line = Queue.pop pending in
-          respond config conn line
+          match Queue.pop pending with
+          | conn, `Line line -> respond config conn line
+          | conn, `Oversized ->
+              Metrics.incr c_oversized;
+              send conn (Session.oversized_response_line ());
+              conn.eof <- true
         done;
         conns :=
           List.filter
@@ -289,7 +323,13 @@ type pconn = {
   p_fd : Unix.file_descr;
   p_inbuf : Buffer.t;
   p_mutex : Mutex.t;  (* guards p_outbox *)
-  p_outbox : (int, string * bool) Hashtbl.t;  (* seq -> (response, errored) *)
+  (* seq -> (response, standing).  [`Errored] counts toward the
+     connection's consecutive-error budget, [`Ok] resets it, and
+     [`Shed] leaves it alone: an [overloaded] reply is the server's
+     condition, not evidence of a misbehaving client — a polite client
+     honouring retry_after_ms through a long brownout must neither be
+     disconnected for it nor have its garbage streak forgiven by it. *)
+  p_outbox : (int, string * [ `Ok | `Errored | `Shed ]) Hashtbl.t;
   mutable p_next_seq : int;  (* main domain only *)
   mutable p_next_write : int;  (* main domain only *)
   mutable p_inflight : int;  (* submitted, not yet flushed; main only *)
@@ -329,6 +369,11 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
     Worker_pool.create ~queue_bound:config.Session.max_inflight ~notify
       ~workers ()
   in
+  let sup =
+    Supervisor.create ?hung_ms:config.Session.hung_request_ms
+      ?queue_delay_target_ms:config.Session.queue_delay_target_ms
+      ?max_rss_mb:config.Session.max_rss_mb ~workers ()
+  in
   (* One session per worker, created lazily {e on} the worker so its
      router workspace is domain-owned there; slot [k] is only ever
      touched by worker [k].  All sessions share the one plan cache. *)
@@ -359,31 +404,76 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
     in
     go ()
   in
-  (* Assign the arrival slot and hand the line to the pool; a refused
-     job (queue at bound) sheds into the same slot so ordering holds. *)
-  let submit_line conn line =
+  (* Park a ready-made response at the next arrival slot — shed,
+     oversized and watchdog replies ride the same ordered outbox as
+     real responses, so they never jump the queue. *)
+  let park conn reply =
     let seq = conn.p_next_seq in
     conn.p_next_seq <- seq + 1;
     conn.p_inflight <- conn.p_inflight + 1;
-    let job () =
-      let k = Option.value ~default:0 (Worker_pool.worker_index ()) in
-      let reply =
-        try Session.handle_line_status (session_for k) line
-        with exn ->
-          Metrics.incr c_crashed;
-          (Session.crashed_response_line line exn, true)
-      in
-      Mutex.lock conn.p_mutex;
-      Hashtbl.replace conn.p_outbox seq reply;
-      Mutex.unlock conn.p_mutex
-    in
-    if not (Worker_pool.submit pool job) then begin
-      Metrics.incr c_shed;
-      Mutex.lock conn.p_mutex;
-      Hashtbl.replace conn.p_outbox seq
-        (Session.overloaded_response_line line, true);
-      Mutex.unlock conn.p_mutex
-    end
+    Mutex.lock conn.p_mutex;
+    Hashtbl.replace conn.p_outbox seq reply;
+    Mutex.unlock conn.p_mutex
+  in
+  (* Assign the arrival slot and hand the line to the pool.  Adaptive
+     admission sheds before the queue is even tried; a refused job
+     (queue at hard bound) sheds into the same slot so ordering holds.
+     Each accepted job runs under a supervisor ticket: a fresh cancel
+     token becomes ambient for the request (engines poll it), the
+     watchdog's abort parks the [internal_error] reply if the worker is
+     declared lost, and the settle CAS guarantees exactly one of worker
+     and watchdog answers. *)
+  let submit_line conn line =
+    match Supervisor.should_shed sup with
+    | Some retry_after_ms ->
+        Metrics.incr c_shed;
+        park conn (Session.overloaded_response_line ~retry_after_ms line, `Shed)
+    | None ->
+        let seq = conn.p_next_seq in
+        conn.p_next_seq <- seq + 1;
+        conn.p_inflight <- conn.p_inflight + 1;
+        let submitted_ns = Timer.now_ns () in
+        let deliver reply =
+          Mutex.lock conn.p_mutex;
+          Hashtbl.replace conn.p_outbox seq reply;
+          Mutex.unlock conn.p_mutex
+        in
+        let job () =
+          let k = Option.value ~default:0 (Worker_pool.worker_index ()) in
+          Supervisor.note_queue_delay sup
+            (Int64.sub (Timer.now_ns ()) submitted_ns);
+          let cancel = Cancel.create () in
+          let ticket =
+            Supervisor.enter sup ~worker:k ~cancel ~abort:(fun () ->
+                deliver (Session.hung_response_line line, `Errored);
+                notify ())
+          in
+          let reply =
+            try
+              let line, errored =
+                Cancel.with_ambient cancel (fun () ->
+                    Fault.point "worker.hang" ~f:(fun () ->
+                        Session.handle_line_status (session_for k) line))
+              in
+              (line, if errored then `Errored else `Ok)
+            with
+            | Cancel.Cancelled Cancel.Killed ->
+                (Session.hung_response_line line, `Errored)
+            | exn ->
+                Metrics.incr c_crashed;
+                (Session.crashed_response_line line exn, `Errored)
+          in
+          let won = Supervisor.settle ticket in
+          Supervisor.leave sup ticket;
+          if won then deliver reply
+        in
+        if not (Worker_pool.submit pool job) then begin
+          Metrics.incr c_shed;
+          deliver
+            ( Session.overloaded_response_line
+                ~retry_after_ms:(Supervisor.retry_hint_ms sup) line,
+              `Shed )
+        end
   in
   (* Write finished responses in sequence order; stop at the first slot
      a worker hasn't filled yet.  A dead connection keeps consuming its
@@ -398,7 +488,7 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
       Mutex.unlock conn.p_mutex;
       match next with
       | None -> ()
-      | Some (line, errored) ->
+      | Some (line, standing) ->
           conn.p_inflight <- conn.p_inflight - 1;
           conn.p_next_write <- conn.p_next_write + 1;
           if not conn.p_dead then begin
@@ -406,15 +496,16 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
             | Ok () -> ()
             | Error `Closed -> conn.p_dead <- true
             | exception Fault.Injected _ -> conn.p_dead <- true);
-            if errored then begin
-              conn.p_errors <- conn.p_errors + 1;
-              let budget = config.Session.error_budget in
-              if budget > 0 && conn.p_errors >= budget then begin
-                Metrics.incr c_budget_closes;
-                conn.p_dead <- true
-              end
-            end
-            else conn.p_errors <- 0
+            match standing with
+            | `Errored ->
+                conn.p_errors <- conn.p_errors + 1;
+                let budget = config.Session.error_budget in
+                if budget > 0 && conn.p_errors >= budget then begin
+                  Metrics.incr c_budget_closes;
+                  conn.p_dead <- true
+                end
+            | `Ok -> conn.p_errors <- 0
+            | `Shed -> ()
           end;
           go ()
     in
@@ -434,14 +525,28 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
     ignore (Sys.signal Sys.sigpipe prev_pipe);
     flush_metrics ()
   in
+  (* One watchdog/brownout pass.  A worker declared lost gets its slot
+     respawned; its session is dropped first so the replacement builds a
+     fresh one (the zombie may still be mutating the old workspace) —
+     the write happens before [replace]'s spawn, so the new domain sees
+     it. *)
+  let supervise () =
+    List.iter
+      (fun k ->
+        sessions.(k) <- None;
+        Worker_pool.replace pool k)
+      (Supervisor.monitor sup);
+    Supervisor.check_memory sup ~cache
+  in
   Fun.protect ~finally:cleanup @@ fun () ->
   flush_metrics ();
   while not !stop do
     let live = List.filter (fun c -> not (c.p_eof || c.p_dead)) !conns in
     let fds = listener :: pipe_rd :: List.map (fun c -> c.p_fd) live in
-    match Unix.select fds [] [] 1.0 with
+    match Unix.select fds [] [] (Supervisor.poll_interval_s sup) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ ->
+        supervise ();
         if List.memq pipe_rd ready then drain_pipe ();
         if List.memq listener ready then begin
           match
@@ -478,7 +583,18 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
           live;
         List.iter
           (fun conn ->
-            List.iter (submit_line conn) (take_lines_buf conn.p_inbuf))
+            match
+              take_lines_buf conn.p_inbuf
+                ~limit:config.Session.max_line_bytes
+            with
+            | `Lines lines -> List.iter (submit_line conn) lines
+            | `Oversized lines ->
+                List.iter (submit_line conn) lines;
+                Metrics.incr c_oversized;
+                park conn (Session.oversized_response_line (), `Errored);
+                (* p_eof, not p_dead: queued replies (and the goodbye)
+                   still flush before the socket closes. *)
+                conn.p_eof <- true)
           live;
         List.iter flush_outbox !conns;
         conns :=
@@ -493,8 +609,11 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
         tick_metrics ()
   done;
   (* Graceful drain: everything already submitted gets its response
-     written before the pool is shut down and the sockets close. *)
+     written before the pool is shut down and the sockets close.  The
+     watchdog keeps running so a wedged worker cannot hold the drain
+     hostage — its request is answered by the abort reply. *)
   while List.exists (fun c -> c.p_inflight > 0) !conns do
+    supervise ();
     (match Unix.select [ pipe_rd ] [] [] 0.05 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ -> if ready <> [] then drain_pipe ());

@@ -5,6 +5,7 @@ module Metrics = Qr_obs.Metrics
 module Log = Qr_obs.Log
 module Fault = Qr_fault.Fault
 module Timer = Qr_util.Timer
+module Cancel = Qr_util.Cancel
 module Resource = Qr_util.Resource
 module Grid = Qr_graph.Grid
 module Perm = Qr_perm.Perm
@@ -13,6 +14,7 @@ module Router_intf = Qr_route.Router_intf
 module Router_config = Qr_route.Router_config
 module Router_registry = Qr_route.Router_registry
 module Router_workspace = Qr_route.Router_workspace
+module Breaker = Qr_route.Breaker
 module Circuit = Qr_circuit.Circuit
 module Qasm = Qr_circuit.Qasm
 module Transpile = Qr_circuit.Transpile
@@ -64,6 +66,11 @@ type config = {
   max_inflight : int;
   verify : bool;
   error_budget : int;
+  max_line_bytes : int;
+  hung_request_ms : int option;
+  queue_delay_target_ms : int option;
+  max_rss_mb : int option;
+  breaker : Breaker.config option;
 }
 
 let default_config =
@@ -73,6 +80,11 @@ let default_config =
     max_inflight = 32;
     verify = false;
     error_budget = 32;
+    max_line_bytes = 1 lsl 20;
+    hung_request_ms = None;
+    queue_delay_target_ms = None;
+    max_rss_mb = None;
+    breaker = None;
   }
 
 (* What the access log reports about the request just handled; filled by
@@ -169,9 +181,20 @@ exception Overloaded_batch of string
 exception Unknown_method of string
 
 (* Wrap the engine in the verified-routing degradation ladder when the
-   session runs with --verify-schedules. *)
+   session runs with --verify-schedules; the ladder also feeds the
+   engine's circuit breaker when one is configured, so a persistently
+   failing engine is skipped (straight to the fallbacks) until its
+   half-open probes succeed. *)
 let effective_engine t engine =
-  if t.config.verify then Router_registry.verified engine else engine
+  if t.config.verify then
+    let breaker =
+      Option.map
+        (fun config ->
+          Breaker.get_or_create ~config engine.Router_intf.name)
+        t.config.breaker
+    in
+    Router_registry.verified ?breaker engine
+  else engine
 
 (* One routing call behind the cache: a hit returns the stored schedule
    (byte-identical response), a miss plans through the session's shared
@@ -267,6 +290,11 @@ let do_route_batch t deadline params =
       (Overloaded_batch
          (Printf.sprintf "batch of %d exceeds max_batch %d" batch
             t.config.max_batch));
+  (* Memory brownout: keep answering single routes, but batch fan-out is
+     the first work to go when the process is over its RSS budget. *)
+  if Supervisor.brownout_active () then
+    raise
+      (Overloaded_batch "memory brownout: batch requests temporarily rejected");
   (* The deadline is checked per item: finished items are returned, and
      unfinished ones get per-item deadline_exceeded errors — not one
      all-or-nothing failure for work already done. *)
@@ -277,6 +305,8 @@ let do_route_batch t deadline params =
     with
     | result -> Ok result
     | exception Deadline.Exceeded ->
+        Error (P.error P.Deadline_exceeded "request deadline exceeded")
+    | exception Cancel.Cancelled Cancel.Deadline ->
         Error (P.error P.Deadline_exceeded "request deadline exceeded")
   in
   let results =
@@ -441,6 +471,12 @@ let handle_request t (req : P.request) =
     | Error msg -> Error (P.error P.Invalid_params msg)
     | exception Deadline.Exceeded ->
         Error (P.error P.Deadline_exceeded "request deadline exceeded")
+    | exception Cancel.Cancelled Cancel.Deadline ->
+        Error (P.error P.Deadline_exceeded "request deadline exceeded")
+    | exception Cancel.Cancelled Cancel.Killed ->
+        Error
+          (P.error P.Internal_error
+             "request cancelled by the supervisor watchdog")
     | exception Unknown_method msg -> Error (P.error P.Unknown_method msg)
     | exception Overloaded_batch msg -> Error (P.error P.Overloaded msg)
     | exception Router_intf.Unsupported_input { engine; reason } ->
@@ -464,17 +500,35 @@ let handle_request t (req : P.request) =
           (P.error P.Internal_error
              ("unexpected exception: " ^ Printexc.to_string exn))
   in
+  (* Cooperative cancellation: the pool's job wrapper installs an
+     ambient token (the watchdog holds its other end) — reuse it so a
+     supervisor kill reaches this request; off-pool, a fresh private
+     token.  The request's deadline is pushed into the token and the
+     workspace carries it into the routing hot loops (including batch
+     items fanned to other domains). *)
+  let cancel =
+    let ambient = Cancel.ambient () in
+    if ambient == Cancel.none then Cancel.create () else ambient
+  in
+  (match Deadline.absolute_ns deadline with
+  | Some _ as at -> Cancel.set_deadline_ns cancel at
+  | None -> ());
+  Router_workspace.set_cancel t.ws cancel;
   (* Adopt the caller's trace context for the duration of the request:
      every span opened below serve_request — engine phases, cache
      lookups, the degraded_to attribute — carries the caller's trace_id
      in the exported trace. *)
   let result =
-    match req.trace with
-    | None -> run ()
-    | Some tc ->
-        let prev = Trace.trace_id () in
-        Trace.set_trace_id (Some tc.Trace_context.trace_id);
-        Fun.protect ~finally:(fun () -> Trace.set_trace_id prev) run
+    Fun.protect
+      ~finally:(fun () -> Router_workspace.set_cancel t.ws Cancel.none)
+      (fun () ->
+        Cancel.with_ambient cancel (fun () ->
+            match req.trace with
+            | None -> run ()
+            | Some tc ->
+                let prev = Trace.trace_id () in
+                Trace.set_trace_id (Some tc.Trace_context.trace_id);
+                Fun.protect ~finally:(fun () -> Trace.set_trace_id prev) run))
   in
   let ms = Timer.elapsed_s timer *. 1000. in
   Metrics.observe h_request_ms ms;
@@ -588,11 +642,27 @@ let recovered_id line =
   | Ok json -> P.request_id json
   | Error _ -> Json.Null
 
-let overloaded_response_line line =
+let overloaded_response_line ?retry_after_ms line =
   Metrics.incr c_errors;
   Json.to_string
     (P.error_response ~id:(recovered_id line)
-       (P.error P.Overloaded "server overloaded: in-flight queue full"))
+       (P.error ?retry_after_ms P.Overloaded
+          "server overloaded: in-flight queue full"))
+
+let oversized_response_line () =
+  Metrics.incr c_errors;
+  Json.to_string
+    (P.error_response ~id:Json.Null
+       (P.error P.Invalid_request
+          "request line exceeds max-line-bytes; closing connection"))
+
+let hung_response_line line =
+  Metrics.incr c_errors;
+  Json.to_string
+    (P.error_response ~id:(recovered_id line)
+       (P.error P.Internal_error
+          "request cancelled by the supervisor watchdog: worker \
+           unresponsive"))
 
 let crashed_response_line line exn =
   Metrics.incr c_errors;

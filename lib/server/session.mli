@@ -40,6 +40,33 @@ type config = {
       (** Consecutive error responses a connection may accumulate
           before the socket server sheds it (default 32; 0 disables;
           enforced by {!Server}). *)
+  max_line_bytes : int;
+      (** Largest request line (and largest partial line buffered while
+          waiting for its newline) a connection may send; past it the
+          server replies [invalid_request] and closes — a stuck or
+          malicious client cannot grow a connection buffer without
+          bound (default 1 MiB; enforced by {!Server}). *)
+  hung_request_ms : int option;
+      (** Watchdog budget ([--hung-request-ms]): a pool request running
+          longer is cancelled, and a worker that then stops making
+          progress is declared lost and its domain respawned (default
+          [None] = watchdog off; enforced by {!Server}/{!Supervisor}). *)
+  queue_delay_target_ms : int option;
+      (** Adaptive-admission target ([--queue-delay-ms]): when the EWMA
+          of job queue delay exceeds it, new requests are shed with
+          [overloaded] plus a [retry_after_ms] hint (default [None] =
+          off; enforced by {!Server}/{!Supervisor}). *)
+  max_rss_mb : int option;
+      (** Memory brownout threshold ([--max-rss-mb]): past this max-RSS
+          high-water mark the plan cache is shrunk and batch requests
+          rejected (default [None] = off). *)
+  breaker : Qr_route.Breaker.config option;
+      (** Per-engine circuit breakers for verified routing
+          ([--breaker-threshold]/[--breaker-cooldown-ms]): repeated
+          engine failures trip the breaker open and requests skip
+          straight to the degradation chain until half-open probes
+          succeed.  Only effective with [verify] (the breaker watches
+          the verified ladder's outcomes; default [None] = off). *)
 }
 
 val default_config : config
@@ -111,10 +138,21 @@ val handle_line_status : t -> string -> string * bool
     connections, so {!consecutive_errors} can't be per-connection
     there). *)
 
-val overloaded_response_line : string -> string
+val overloaded_response_line : ?retry_after_ms:int -> string -> string
 (** The [overloaded] error response for a request line that was shed
     before parsing — echoes the line's id when one can be recovered.
+    [retry_after_ms] adds the adaptive-admission backpressure hint.
     Used by {!Server}'s bounded in-flight queue. *)
+
+val oversized_response_line : unit -> string
+(** The [invalid_request] response sent just before closing a
+    connection whose request line exceeded [max_line_bytes] (the line
+    itself is not parsed, so no id is echoed). *)
+
+val hung_response_line : string -> string
+(** The [internal_error] response the watchdog parks for a request
+    whose worker was declared lost — echoes the line's id when one can
+    be recovered. *)
 
 val crashed_response_line : string -> exn -> string
 (** The [internal_error] response the serving loops substitute when the

@@ -1,0 +1,265 @@
+module Cancel = Qr_util.Cancel
+module Timer = Qr_util.Timer
+module Resource = Qr_util.Resource
+module Metrics = Qr_obs.Metrics
+module Log = Qr_obs.Log
+module Json = Qr_obs.Json
+
+let c_hung =
+  Metrics.counter "server_hung_requests"
+    ~help:"Requests killed by the watchdog after exceeding --hung-request-ms."
+
+let c_adaptive_shed =
+  Metrics.counter "server_shed_adaptive"
+    ~help:"Requests shed by adaptive admission (queue delay over target)."
+
+let g_queue_delay =
+  Metrics.gauge "server_queue_delay_ms"
+    ~help:"EWMA of job queue delay (submit to start) in milliseconds."
+
+let g_brownout =
+  Metrics.gauge "server_brownout"
+    ~help:"1 while the memory brownout is active, else 0."
+
+(* ------------------------------------------------------------- tickets *)
+
+(* One in-flight pool job under watch.  The watchdog (main domain) and
+   the worker race to settle it: whoever wins the [tk_settled] CAS owns
+   the reply slot — the loser drops its response on the floor.  The
+   monitor-only fields track the kill escalation and are never touched
+   by the worker. *)
+type ticket = {
+  tk_worker : int;
+  tk_cancel : Cancel.t;
+  tk_settled : bool Atomic.t;
+  tk_abort : unit -> unit;  (* park the internal_error reply; main only *)
+  tk_started_ns : int64;
+  mutable tk_cell : ticket option;  (* the exact option stored in the slot *)
+  mutable tk_killed_at_ns : int64;  (* 0 = not killed yet; monitor only *)
+  mutable tk_progress_at_kill : int;  (* monitor only *)
+}
+
+type t = {
+  hung_ns : int64 option;
+  queue_target_ns : int64 option;
+  max_rss_kb : int option;
+  slots : ticket option Atomic.t array;
+  queue_delay_ns : int64 Atomic.t;  (* EWMA, 0 = no sample yet *)
+  last_sample_ns : int64 Atomic.t;  (* when a job last reported a delay *)
+  brownout : bool Atomic.t;
+  mutable hung : int;  (* main domain only *)
+}
+
+(* Process-wide brownout flag: sessions live one layer above the
+   supervisor wiring (workers reach them through the pool, not through
+   [t]), so the batch-rejection check reads module state. *)
+let brownout_flag = Atomic.make false
+
+let brownout_active () = Atomic.get brownout_flag
+
+let ms_to_ns ms = Int64.mul (Int64.of_int ms) 1_000_000L
+
+let create ?hung_ms ?queue_delay_target_ms ?max_rss_mb ~workers () =
+  let pos what = function
+    | Some v when v <= 0 ->
+        invalid_arg (Printf.sprintf "Supervisor.create: %s must be positive" what)
+    | v -> v
+  in
+  let hung_ms = pos "hung_ms" hung_ms in
+  let queue_delay_target_ms = pos "queue_delay_target_ms" queue_delay_target_ms in
+  let max_rss_mb = pos "max_rss_mb" max_rss_mb in
+  if workers < 1 then invalid_arg "Supervisor.create: workers < 1";
+  {
+    hung_ns = Option.map ms_to_ns hung_ms;
+    queue_target_ns = Option.map ms_to_ns queue_delay_target_ms;
+    max_rss_kb = Option.map (fun mb -> mb * 1024) max_rss_mb;
+    slots = Array.init workers (fun _ -> Atomic.make None);
+    queue_delay_ns = Atomic.make 0L;
+    last_sample_ns = Atomic.make 0L;
+    brownout = Atomic.make false;
+    hung = 0;
+  }
+
+let hung t = t.hung
+
+let enter t ~worker ~cancel ~abort =
+  let tk =
+    {
+      tk_worker = worker;
+      tk_cancel = cancel;
+      tk_settled = Atomic.make false;
+      tk_abort = abort;
+      tk_started_ns = Timer.now_ns ();
+      tk_cell = None;
+      tk_killed_at_ns = 0L;
+      tk_progress_at_kill = 0;
+    }
+  in
+  let cell = Some tk in
+  tk.tk_cell <- cell;
+  if worker >= 0 && worker < Array.length t.slots then
+    Atomic.set t.slots.(worker) cell;
+  tk
+
+let settle tk = Atomic.compare_and_set tk.tk_settled false true
+
+let leave t tk =
+  if tk.tk_worker >= 0 && tk.tk_worker < Array.length t.slots then
+    ignore (Atomic.compare_and_set t.slots.(tk.tk_worker) tk.tk_cell None)
+
+(* ------------------------------------------------------------ watchdog *)
+
+(* Escalation per armed slot: past [hung_ns] the request is killed
+   cooperatively (its cancel token flips; a polling engine aborts with
+   an internal_error within a stride).  If after a further grace period
+   — another [hung_ns] — the token's progress word has not moved, the
+   worker is not polling at all: declare it lost, park the abort reply
+   (settle CAS decides against a late worker), free the slot, and report
+   the worker index so the server can respawn the domain.  A killed
+   worker whose progress word still advances is slow, not wedged — it
+   keeps its domain and aborts on its own. *)
+let monitor t =
+  match t.hung_ns with
+  | None -> []
+  | Some hung_ns ->
+      let now = Timer.now_ns () in
+      let lost = ref [] in
+      Array.iteri
+        (fun k slot ->
+          match Atomic.get slot with
+          | None -> ()
+          | Some tk ->
+              if Int64.compare tk.tk_killed_at_ns 0L = 0 then begin
+                if Int64.compare (Int64.sub now tk.tk_started_ns) hung_ns > 0
+                then begin
+                  tk.tk_killed_at_ns <- now;
+                  tk.tk_progress_at_kill <- Cancel.progress tk.tk_cancel;
+                  Cancel.kill tk.tk_cancel;
+                  t.hung <- t.hung + 1;
+                  Metrics.incr c_hung;
+                  Log.warn "supervisor: request hung; cancelling"
+                    [
+                      ("worker", Json.Int k);
+                      ( "elapsed_ms",
+                        Json.Float
+                          (Int64.to_float (Int64.sub now tk.tk_started_ns)
+                          /. 1e6) );
+                    ]
+                end
+              end
+              else if
+                Int64.compare (Int64.sub now tk.tk_killed_at_ns) hung_ns > 0
+                && Cancel.progress tk.tk_cancel = tk.tk_progress_at_kill
+              then
+                if settle tk then begin
+                  tk.tk_abort ();
+                  ignore (Atomic.compare_and_set slot tk.tk_cell None);
+                  lost := k :: !lost;
+                  Log.error "supervisor: worker lost; restarting domain"
+                    [ ("worker", Json.Int k) ]
+                end
+                else
+                  (* The worker settled first after all — its normal
+                     completion path will clear the slot. *)
+                  ())
+        t.slots;
+      List.rev !lost
+
+(* Poll often enough that kill and lost detection land within a fraction
+   of the hang budget, but never busier than 10 ms. *)
+let poll_interval_s t =
+  match t.hung_ns with
+  | None -> 1.0
+  | Some hung_ns ->
+      Float.min 1.0 (Float.max 0.01 (Int64.to_float hung_ns /. 4e9))
+
+(* ----------------------------------------------------------- admission *)
+
+(* EWMA with alpha = 1/8, folded CAS-free-loop style so any worker can
+   report its observed queue delay. *)
+let note_queue_delay t delay_ns =
+  let delay_ns = if Int64.compare delay_ns 0L < 0 then 0L else delay_ns in
+  let rec fold () =
+    let old = Atomic.get t.queue_delay_ns in
+    let next =
+      if Int64.compare old 0L = 0 then delay_ns
+      else Int64.add old (Int64.div (Int64.sub delay_ns old) 8L)
+    in
+    if not (Atomic.compare_and_set t.queue_delay_ns old next) then fold ()
+    else next
+  in
+  let ewma = fold () in
+  Atomic.set t.last_sample_ns (Timer.now_ns ());
+  Metrics.set g_queue_delay (Int64.to_float ewma /. 1e6)
+
+let queue_delay_ms t = Int64.to_float (Atomic.get t.queue_delay_ns) /. 1e6
+
+let retry_hint_ms t =
+  let ewma_ms = queue_delay_ms t in
+  max 1 (min 60_000 (int_of_float (2. *. ewma_ms)))
+
+(* The EWMA only moves when a job starts.  If a burst drives it over the
+   target and then the backlog drains, no further samples arrive — a
+   frozen spike would shed every future request forever.  So when the
+   EWMA is over target but no job has started for a while (the queue
+   must be empty or draining), fold in a zero sample, rate-limited to
+   one per stale window by a CAS on the sample clock: the estimate
+   decays geometrically and admission reopens on its own. *)
+let decay_if_stale t ~target =
+  let now = Timer.now_ns () in
+  let stale = Int64.mul 4L target in
+  let last = Atomic.get t.last_sample_ns in
+  if
+    Int64.compare (Int64.sub now last) stale > 0
+    && Atomic.compare_and_set t.last_sample_ns last now
+  then begin
+    let rec fold () =
+      let old = Atomic.get t.queue_delay_ns in
+      let next = Int64.sub old (Int64.div old 8L) in
+      if not (Atomic.compare_and_set t.queue_delay_ns old next) then fold ()
+    in
+    fold ();
+    Metrics.set g_queue_delay
+      (Int64.to_float (Atomic.get t.queue_delay_ns) /. 1e6)
+  end
+
+let should_shed t =
+  match t.queue_target_ns with
+  | None -> None
+  | Some target ->
+      if Int64.compare (Atomic.get t.queue_delay_ns) target > 0 then begin
+        decay_if_stale t ~target;
+        if Int64.compare (Atomic.get t.queue_delay_ns) target > 0 then begin
+          Metrics.incr c_adaptive_shed;
+          Some (retry_hint_ms t)
+        end
+        else None
+      end
+      else None
+
+(* ------------------------------------------------------------ brownout *)
+
+(* One-way: max RSS is a high-water mark, so once crossed the process
+   stays browned out — it keeps serving single routes but stops holding
+   cached plans and rejects batch fan-out. *)
+let check_memory t ~cache =
+  match t.max_rss_kb with
+  | None -> ()
+  | Some limit_kb ->
+      if (not (Atomic.get t.brownout)) && Resource.max_rss_kb () > limit_kb
+      then begin
+        Atomic.set t.brownout true;
+        Atomic.set brownout_flag true;
+        Metrics.set g_brownout 1.;
+        Plan_cache.set_limit cache (Plan_cache.capacity cache / 8);
+        Log.warn "supervisor: memory brownout"
+          [
+            ("max_rss_kb", Json.Int (Resource.max_rss_kb ()));
+            ("limit_kb", Json.Int limit_kb);
+            ("cache_limit", Json.Int (Plan_cache.limit cache));
+          ]
+      end
+
+let reset_brownout () =
+  Atomic.set brownout_flag false;
+  Metrics.set g_brownout 0.

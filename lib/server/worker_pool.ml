@@ -5,6 +5,10 @@ let g_queue_depth =
   Metrics.gauge "server_queue_depth"
     ~help:"Requests queued or running in the worker pool."
 
+let c_restarts =
+  Metrics.counter "server_worker_restarts"
+    ~help:"Worker domains respawned after the watchdog declared them lost."
+
 type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;  (* signalled on every enqueue and at shutdown *)
@@ -15,6 +19,11 @@ type t = {
   mutable running_jobs : int;
   mutable stopping : bool;
   mutable domains : unit Domain.t array;
+  (* Slot [k]'s spawn generation: a worker observing a bumped epoch is a
+     superseded zombie and exits its loop instead of taking new work. *)
+  epochs : int Atomic.t array;
+  mutable zombies : unit Domain.t list;  (* replaced domains, joined at shutdown *)
+  mutable restarts : int;
 }
 
 let index_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
@@ -88,14 +97,20 @@ let rec await t fut =
 
 (* ---------------------------------------------------------- worker loop *)
 
-let rec worker_loop t =
+let rec worker_loop t k epoch =
+  let stale () = Atomic.get t.epochs.(k) <> epoch in
   Mutex.lock t.mutex;
   while
-    Queue.is_empty t.tasks && Queue.is_empty t.jobs && not t.stopping
+    (not (stale ()))
+    && Queue.is_empty t.tasks && Queue.is_empty t.jobs && not t.stopping
   do
     Condition.wait t.nonempty t.mutex
   done;
-  if Queue.is_empty t.tasks && Queue.is_empty t.jobs then
+  if stale () then
+    (* Superseded: a replacement domain owns this slot now — exit
+       without touching the queues. *)
+    Mutex.unlock t.mutex
+  else if Queue.is_empty t.tasks && Queue.is_empty t.jobs then
     (* stopping, both queues drained *)
     Mutex.unlock t.mutex
   else begin
@@ -120,7 +135,7 @@ let rec worker_loop t =
       Mutex.unlock t.mutex;
       t.notify ()
     end;
-    worker_loop t
+    worker_loop t k epoch
   end
 
 let create ?(queue_bound = 32) ?(notify = fun () -> ()) ~workers () =
@@ -137,6 +152,9 @@ let create ?(queue_bound = 32) ?(notify = fun () -> ()) ~workers () =
       running_jobs = 0;
       stopping = false;
       domains = [||];
+      epochs = Array.init workers (fun _ -> Atomic.make 0);
+      zombies = [];
+      restarts = 0;
     }
   in
   t.domains <-
@@ -144,7 +162,7 @@ let create ?(queue_bound = 32) ?(notify = fun () -> ()) ~workers () =
         Domain.spawn (fun () ->
             Domain.DLS.set index_key (Some k);
             Fault.set_domain_index (k + 1);
-            worker_loop t));
+            worker_loop t k 0));
   t
 
 let submit t job =
@@ -195,10 +213,47 @@ let pending t =
   Mutex.unlock t.mutex;
   n
 
+(* Replace the domain in slot [k]: bump the slot epoch (the old domain
+   exits its loop as soon as it next checks — a genuinely wedged one
+   just never takes new work) and spawn a fresh domain with the same
+   worker index and fault stream.  The old domain cannot be killed
+   (OCaml domains have no cancellation) so it is parked on the zombie
+   list and joined at shutdown; a job it is still running finishes under
+   its own error plumbing and decrements [running_jobs] normally.  Main
+   domain only. *)
+let replace t k =
+  if k < 0 || k >= Array.length t.domains then
+    invalid_arg "Worker_pool.replace: bad worker index";
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let epoch = 1 + Atomic.get t.epochs.(k) in
+    Atomic.set t.epochs.(k) epoch;
+    t.zombies <- t.domains.(k) :: t.zombies;
+    t.restarts <- t.restarts + 1;
+    Metrics.incr c_restarts;
+    (* Wake a zombie parked in Condition.wait so it notices the epoch. *)
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    t.domains.(k) <-
+      Domain.spawn (fun () ->
+          Domain.DLS.set index_key (Some k);
+          Fault.set_domain_index (k + 1);
+          worker_loop t k epoch)
+  end
+
+let restarts t =
+  Mutex.lock t.mutex;
+  let n = t.restarts in
+  Mutex.unlock t.mutex;
+  n
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
   Array.iter Domain.join t.domains;
-  t.domains <- [||]
+  t.domains <- [||];
+  List.iter Domain.join t.zombies;
+  t.zombies <- []

@@ -61,6 +61,20 @@ val pending : t -> int
 (** Jobs queued plus jobs currently running — the [health] report's
     [inflight] count in pool mode. *)
 
+val replace : t -> int -> unit
+(** Respawn worker slot [k] (the supervisor's lost-worker path).  The
+    old domain cannot be killed — it is {e superseded}: its slot epoch
+    is bumped so it exits its loop at the next check instead of taking
+    new work, and it is joined at {!shutdown}.  A job it is still
+    running finishes under its own error plumbing (its reply is dropped
+    by the supervisor's settle CAS).  The replacement registers the same
+    worker index and fault-stream domain.  Bumps
+    [server_worker_restarts].  Main domain only; no-op while stopping.
+    @raise Invalid_argument on a bad index. *)
+
+val restarts : t -> int
+(** Domains respawned by {!replace} (metrics-independent tally). *)
+
 val shutdown : t -> unit
 (** Stop accepting, let the workers drain both queues, join them.
     Idempotent.  Call only after the submitting loop has stopped. *)

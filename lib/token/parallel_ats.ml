@@ -5,6 +5,7 @@ module Rng = Qr_util.Rng
 module Schedule = Qr_route.Schedule
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Cancel = Qr_util.Cancel
 
 let c_trials = Metrics.counter "ats_parallel_trials"
 let c_happy_layers = Metrics.counter "ats_happy_layers"
@@ -48,9 +49,11 @@ let route_one ~seed g oracle pi =
   in
   let total = Perm.total_distance dist pi in
   let cap = max (4 * n * n) ((8 * total) + 64) in
+  let cancel = Cancel.ambient () in
   let rounds = ref 0 in
   let finished = ref false in
   while not !finished do
+    Cancel.poll cancel;
     incr rounds;
     if !rounds > cap then failwith "Parallel_ats.route: safety cap exceeded";
     match happy_layer () with

@@ -5,6 +5,7 @@ module Rng = Qr_util.Rng
 module Schedule = Qr_route.Schedule
 module Trace = Qr_obs.Trace
 module Metrics = Qr_obs.Metrics
+module Cancel = Qr_util.Cancel
 
 let c_happy = Metrics.counter "ats_happy_swaps"
 let c_cycle = Metrics.counter "ats_cycle_swaps"
@@ -51,9 +52,11 @@ let run_trial g dist pi priority roots cap =
     done
   in
   let first_unplaced () = List.find_opt (fun v -> dest_at.(v) <> v) roots in
+  let cancel = Cancel.ambient () in
   let ok = ref true in
   let finished = ref false in
   while (not !finished) && !ok do
+    Cancel.poll cancel;
     if !swap_count > cap then ok := false
     else if happy_batch () then ()
     else

@@ -1,0 +1,98 @@
+(* Cooperative cancellation tokens for the routing hot loops.
+
+   A token couples an absolute monotonic-clock deadline with an atomic
+   kill flag set asynchronously by the server's watchdog.  The routing
+   inner loops call [poll] at bounded intervals; the common disarmed
+   case ([none]) is a single physical-equality branch, so the
+   checkpoints are free for library users that never serve traffic. *)
+
+type reason = Deadline | Killed
+
+exception Cancelled of reason
+
+let reason_name = function Deadline -> "deadline" | Killed -> "killed"
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled r -> Some (Printf.sprintf "Cancel.Cancelled(%s)" (reason_name r))
+    | _ -> None)
+
+type t = {
+  mutable deadline_ns : int64;  (* Int64.max_int = no deadline *)
+  killed : bool Atomic.t;  (* set by the watchdog, read by the owner *)
+  progress : int Atomic.t;  (* liveness word: bumped on strided checks *)
+  mutable countdown : int;  (* polls until the next clock read *)
+}
+
+(* How many [poll]s between clock reads.  The kill flag is still read on
+   every poll (one atomic load); only the [Timer.now_ns] call — and the
+   progress-word bump the watchdog uses as a heartbeat — is strided. *)
+let stride = 64
+
+let make () =
+  {
+    deadline_ns = Int64.max_int;
+    killed = Atomic.make false;
+    progress = Atomic.make 0;
+    countdown = 0;
+  }
+
+(* The shared never-cancelled token.  [kill]/[set_deadline_ns] refuse to
+   touch it, so a stray call can never poison every un-tokened caller. *)
+let none = make ()
+
+let create ?deadline_ns () =
+  let t = make () in
+  (match deadline_ns with Some at -> t.deadline_ns <- at | None -> ());
+  t
+
+let set_deadline_ns t at =
+  if t != none then
+    t.deadline_ns <- (match at with Some ns -> ns | None -> Int64.max_int)
+
+let kill t = if t != none then Atomic.set t.killed true
+
+let killed t = Atomic.get t.killed
+
+let progress t = Atomic.get t.progress
+
+let check t =
+  if t != none then begin
+    if Atomic.get t.killed then raise (Cancelled Killed);
+    if t.deadline_ns <> Int64.max_int && Timer.now_ns () >= t.deadline_ns then
+      raise (Cancelled Deadline)
+  end
+
+(* [countdown] is owner-mutated without synchronization; a batch fanned
+   across domains shares one token, and the benign race only jitters how
+   often the clock is read — the kill flag is checked on every poll. *)
+let poll t =
+  if t != none then begin
+    if Atomic.get t.killed then raise (Cancelled Killed);
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      t.countdown <- stride;
+      Atomic.incr t.progress;
+      if t.deadline_ns <> Int64.max_int && Timer.now_ns () >= t.deadline_ns
+      then raise (Cancelled Deadline)
+    end
+  end
+
+(* ------------------------------------------------------- ambient token *)
+
+(* The per-domain current token.  Threading a token through every
+   routing signature would churn the whole engine API; instead the
+   request layer installs the token for the duration of the call and the
+   hot loops fetch it once at entry.  Worker pools re-install the token
+   inside fanned-out closures, so a batch item polls its request's token
+   on whichever domain runs it. *)
+let ambient_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
+
+let ambient () = Domain.DLS.get ambient_key
+
+let set_ambient t = Domain.DLS.set ambient_key t
+
+let with_ambient t f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f

@@ -1,0 +1,74 @@
+(** Cooperative cancellation for the routing hot loops.
+
+    A token carries an absolute monotonic-clock deadline (see
+    {!Qr_util.Timer}) and an atomic kill flag a supervisor can set from
+    another domain.  Long-running planning loops — band-search sweeps,
+    Hopcroft–Karp phases, token-swapping rounds — call {!poll} at
+    bounded intervals; an expired or killed token aborts the plan
+    mid-loop with {!Cancelled} instead of burning the domain until the
+    phase boundary.
+
+    Cost discipline: {!poll} on {!none} (the default) is one physical
+    equality test and a branch, safe in the innermost loops.  On a live
+    token every poll reads the kill flag (one atomic load) and only
+    every [~64]th poll reads the clock and bumps the {!progress} word —
+    the per-token heartbeat the server's watchdog uses to tell a slow
+    worker from a wedged one.
+
+    Tokens reach the loops {e ambiently}: the request layer installs the
+    current request's token with {!with_ambient} and the loops fetch it
+    once at entry with {!ambient} — no signature churn through the
+    engine stack.  Results are bit-identical with or without a live
+    token (the checkpoints only ever raise), which the QCheck identity
+    property in [test_supervision] pins down. *)
+
+type reason =
+  | Deadline  (** The token's deadline passed. *)
+  | Killed  (** {!kill} was called — the watchdog gave up on the request. *)
+
+exception Cancelled of reason
+
+type t
+
+val none : t
+(** The shared never-cancelled token; {!kill} and {!set_deadline_ns}
+    refuse to touch it. *)
+
+val create : ?deadline_ns:int64 -> unit -> t
+(** A fresh token, optionally expiring at an absolute monotonic
+    instant. *)
+
+val set_deadline_ns : t -> int64 option -> unit
+(** Set or clear the deadline (owner-domain only; [None] clears).  No-op
+    on {!none}. *)
+
+val kill : t -> unit
+(** Ask the owner to abort at its next {!poll}/{!check}.  Safe from any
+    domain; idempotent; no-op on {!none}. *)
+
+val killed : t -> bool
+
+val progress : t -> int
+(** Monotone liveness word, bumped about every 64th {!poll}.  A watchdog
+    that sees it advance knows the owner is alive and will honor the
+    kill flag on its own. *)
+
+val check : t -> unit
+(** Full check (kill flag, then clock).
+    @raise Cancelled when the token is killed or past its deadline. *)
+
+val poll : t -> unit
+(** Bounded-interval check for hot loops: kill flag every call, clock
+    every [~64]th.  @raise Cancelled as {!check}. *)
+
+(** {2 Ambient token}
+
+    One current token per domain, default {!none}. *)
+
+val ambient : unit -> t
+
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as the calling domain's ambient token for the duration
+    of [f], restoring the previous token even on exceptions. *)

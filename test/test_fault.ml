@@ -477,7 +477,7 @@ let test_session_consecutive_errors () =
   ignore (Session.handle_line session (route_line rev9));
   checki "success resets" 0 (Session.consecutive_errors session)
 
-let test_batch_deadline_finishes_prefix () =
+let test_batch_deadline_aborts_mid_plan () =
   let session = Session.create () in
   let perms =
     List.init 3 (fun k -> Perm.check (Rng.permutation (Rng.create k) 9))
@@ -490,27 +490,26 @@ let test_batch_deadline_finishes_prefix () =
          (List.map (fun pi -> Json.to_string (P.perm_to_json pi)) perms))
   in
   let result = result_of (Session.handle_line session line) in
-  checkb "some prefix completed" true
-    (member_exn "completed" result = Json.Int 1);
+  (* Cooperative cancellation: the deadline fires {e inside} the first
+     item's plan (the engine polls the request's cancel token between
+     sweeps), so the expired item aborts mid-plan instead of running to
+     completion — nothing completes, every item reports the typed
+     error. *)
+  checkb "nothing completed" true (member_exn "completed" result = Json.Int 0);
   (match member_exn "schedules" result with
-  | Json.List [ first; second; third ] ->
-      (match Schedule.of_json first with
-      | Ok sched ->
-          checkb "finished item realizes" true
-            (Schedule.realizes ~n:9 sched (List.nth perms 0))
-      | Error msg -> Alcotest.failf "first item not a schedule: %s" msg);
+  | Json.List ([ _; _; _ ] as items) ->
       List.iter
         (fun item ->
           match Json.member "error" item with
           | Some err ->
-              checkb "tail is deadline_exceeded" true
+              checkb "item is deadline_exceeded" true
                 (Json.member "code" err
                 = Some (Json.String "deadline_exceeded"))
-          | None -> Alcotest.fail "unfinished tail must carry errors")
-        [ second; third ]
+          | None -> Alcotest.fail "expired items must carry errors")
+        items
   | j -> Alcotest.failf "expected three items, got %s" (Json.to_string j));
   match member_exn "cached" result with
-  | Json.List [ Json.Bool false; Json.Null; Json.Null ] -> ()
+  | Json.List [ Json.Null; Json.Null; Json.Null ] -> ()
   | j -> Alcotest.failf "cached mirrors completion: %s" (Json.to_string j)
 
 let test_batch_zero_deadline_all_items_error () =
@@ -1069,8 +1068,8 @@ let () =
             test_session_dispatch_crash_isolated;
           Alcotest.test_case "consecutive error tracking" `Quick
             test_session_consecutive_errors;
-          Alcotest.test_case "batch deadline finishes prefix" `Quick
-            test_batch_deadline_finishes_prefix;
+          Alcotest.test_case "batch deadline aborts mid-plan" `Quick
+            test_batch_deadline_aborts_mid_plan;
           Alcotest.test_case "batch 0ms deadline" `Quick
             test_batch_zero_deadline_all_items_error;
           Alcotest.test_case "verify health report" `Quick

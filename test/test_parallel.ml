@@ -204,17 +204,41 @@ let test_pool_map_tasks_order () =
   let squares = Worker_pool.map_tasks pool (fun i -> i * i) items in
   checkb "results in submission order" true
     (squares = List.map (fun i -> i * i) items);
-  (* Tasks run on worker domains (stamped), the caller is not one. *)
+  (* The caller is not a worker; a task may run either on a worker
+     domain (stamped with its index) or on the caller itself, which
+     helps while awaiting — so [None] is legitimate for tasks. *)
   checkb "caller has no worker index" true (Worker_pool.worker_index () = None);
   let indices =
     Worker_pool.map_tasks pool
       (fun _ -> Worker_pool.worker_index ())
       [ (); (); () ]
   in
-  checkb "tasks see a worker index" true
+  checkb "task worker indices in range" true
     (List.for_all
-       (function Some k -> k >= 0 && k < 4 | None -> false)
-       indices)
+       (function Some k -> k >= 0 && k < 4 | None -> true)
+       indices);
+  (* Jobs, unlike tasks, are only ever popped by worker domains, so the
+     index stamp is deterministic there. *)
+  let idx = Atomic.make (-1) in
+  let m = Mutex.create () and c = Condition.create () in
+  let finished = ref false in
+  checkb "job accepted" true
+    (Worker_pool.submit pool (fun () ->
+         (match Worker_pool.worker_index () with
+         | Some k -> Atomic.set idx k
+         | None -> ());
+         Mutex.lock m;
+         finished := true;
+         Condition.signal c;
+         Mutex.unlock m));
+  Mutex.lock m;
+  while not !finished do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  checkb "jobs see a worker index" true
+    (let k = Atomic.get idx in
+     k >= 0 && k < 4)
 
 exception Task_boom
 

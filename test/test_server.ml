@@ -130,7 +130,7 @@ let test_response_envelopes () =
   checkb "ok destructures" true (P.response_result ok = Ok (Json.Bool true));
   let err = P.error_response ~id:(Json.Int 1) (P.error P.Overloaded "full") in
   (match P.response_result err with
-  | Error { P.code = P.Overloaded; message } -> checks "message" "full" message
+  | Error { P.code = P.Overloaded; message; _ } -> checks "message" "full" message
   | _ -> Alcotest.fail "expected overloaded error");
   (match P.response_result (Json.Obj [ ("id", Json.Int 1) ]) with
   | Error { P.code = P.Internal_error; _ } -> ()
