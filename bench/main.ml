@@ -16,6 +16,10 @@
                writes BENCH_parallel.json
      overload  cancellation-checkpoint overhead and adaptive-admission
                behavior under a burst; writes BENCH_overload.json
+     evloop    readiness-loop behavior over a live socket server: idle
+               wakeups/sec, round-trip latency under idle connections
+               and under a never-reading slow client;
+               writes BENCH_evloop.json
      ablation  isolate each design choice of LocalGridRoute
      circuits  end-to-end transpilation of the motivating workloads
      realistic depth on permutations harvested from real transpilations
@@ -459,6 +463,244 @@ let overload () =
       failwith ("BENCH_overload.json is not well-formed: " ^ msg));
   Printf.printf "(overload behavior written to %s)\n" path
 
+(* --------------------------------------------------------------- evloop *)
+
+(* Readiness-loop behavior over a live Unix-domain socket server
+   (DESIGN.md §15), measured from the outside:
+
+   - {e idle wakeups}: the [server_loop_wakeups] counter delta over a
+     quiet window — the old loop ticked every second even with nothing
+     to do; the event loop arms no timer and must sit at ~0/s;
+   - {e connection scaling}: round-trip latency of a busy connection
+     while dozens of idle connections are parked in the poll set;
+   - {e slow reader}: the same round-trips while one client floods
+     pipelined requests and never reads a byte.  The historical
+     blocking write_all wedged the accept loop on that client; the
+     write-queued loop must keep the healthy tail close to baseline and
+     close the staller at its outbox cap ([server_slow_client_closes]).
+
+   Writes BENCH_evloop.json. *)
+let evloop () =
+  header "Event loop: idle wakeups, connection scaling, slow reader";
+  (* The staller's descriptor is closed server-side mid-flood; writes
+     into it must surface as EPIPE, not kill the harness. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let module Session = Server_session in
+  let module P = Server_protocol in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qr_bench_evloop_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let outbox_cap = 65_536 in
+  let config =
+    { Session.default_config with Session.max_outbox_bytes = outbox_cap }
+  in
+  (* The child would otherwise replay the parent's buffered stdout. *)
+  flush stdout;
+  match Unix.fork () with
+  | 0 ->
+      (try Server.run_socket ~config ~path () with _ -> ());
+      exit 0
+  | child ->
+      let finally () =
+        (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      let rec await tries =
+        if tries = 0 then failwith "evloop bench: server socket never appeared";
+        if not (Sys.file_exists path) then begin
+          Unix.sleepf 0.02;
+          await (tries - 1)
+        end
+      in
+      await 250;
+      let connect () =
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+      (* One blocking request/response round trip on a persistent
+         connection; every response envelope is validated. *)
+      let route_line id =
+        Printf.sprintf
+          {|{"id": %d, "method": "route", "params": {"grid": {"rows": 3, "cols": 3}, "perm": [8,7,6,5,4,3,2,1,0], "engine": "local"}}|}
+          id
+      in
+      let chunk = Bytes.create 4096 in
+      let inbox = Buffer.create 512 in
+      let round_trip fd line =
+        let line = line ^ "\n" in
+        let len = String.length line in
+        let rec send off =
+          if off < len then send (off + Unix.write_substring fd line off (len - off))
+        in
+        send 0;
+        let rec recv () =
+          match String.index_opt (Buffer.contents inbox) '\n' with
+          | Some i ->
+              let data = Buffer.contents inbox in
+              let response = String.sub data 0 i in
+              Buffer.clear inbox;
+              Buffer.add_substring inbox data (i + 1)
+                (String.length data - i - 1);
+              response
+          | None -> (
+              match Unix.read fd chunk 0 4096 with
+              | 0 -> failwith "evloop bench: server closed the busy connection"
+              | k ->
+                  Buffer.add_subbytes inbox chunk 0 k;
+                  recv ())
+        in
+        let response = recv () in
+        (match P.response_result (Obs_json.of_string_exn response) with
+        | Ok _ -> ()
+        | Error err ->
+            failwith ("evloop bench: error response: " ^ err.P.message));
+        response
+      in
+      let counter_rpc fd name =
+        let reply =
+          round_trip fd (Printf.sprintf {|{"id": 0, "method": "metrics"}|})
+        in
+        match P.response_result (Obs_json.of_string_exn reply) with
+        | Ok metrics -> (
+            match Obs_json.member "counters" metrics with
+            | Some (Obs_json.Obj fields) -> (
+                match List.assoc_opt name fields with
+                | Some (Obs_json.Int n) -> n
+                | _ -> 0)
+            | _ -> 0)
+        | Error err -> failwith ("evloop bench: metrics: " ^ err.P.message)
+      in
+      let busy = connect () in
+      Fun.protect ~finally:(fun () -> close busy) @@ fun () ->
+      (* Warm-up: plan cache filled, steady state. *)
+      for i = 1 to 10 do
+        ignore (round_trip busy (route_line i))
+      done;
+      (* Idle wakeups: calibrate the cost of the probe itself with two
+         back-to-back reads, then measure a quiet window. *)
+      let w_a = counter_rpc busy "server_loop_wakeups" in
+      let w_b = counter_rpc busy "server_loop_wakeups" in
+      let probe_cost = w_b - w_a in
+      let window_s = 3.0 in
+      Unix.sleepf window_s;
+      let w_c = counter_rpc busy "server_loop_wakeups" in
+      let idle_wakeups_per_s =
+        Float.max 0. (float_of_int (w_c - w_b - probe_cost) /. window_s)
+      in
+      Printf.printf
+        "idle wakeups: %.2f/s over a %.0fs window (probe costs %d wakeups)\n"
+        idle_wakeups_per_s window_s probe_cost;
+      let requests = 200 in
+      let timed_run label ~before_each =
+        let samples = Array.make requests 0. in
+        for i = 0 to requests - 1 do
+          before_each ();
+          let _, seconds =
+            Timer.time (fun () -> round_trip busy (route_line (100 + i)))
+          in
+          samples.(i) <- seconds *. 1e3
+        done;
+        Array.sort compare samples;
+        let p50 = Stats.percentile samples 50. in
+        let p99 = Stats.percentile samples 99. in
+        Printf.printf "%-28s p50 %8.3f ms   p99 %8.3f ms\n" label p50 p99;
+        (p50, p99)
+      in
+      (* Baseline with a pile of idle connections parked in the poll
+         set: scaling in fd count, not in work. *)
+      let idle_conns = List.init 64 (fun _ -> connect ()) in
+      Fun.protect ~finally:(fun () -> List.iter close idle_conns) @@ fun () ->
+      let base_p50, base_p99 =
+        timed_run "64 idle connections" ~before_each:(fun () -> ())
+      in
+      (* Slow reader: flood without ever reading, topped up nonblocking
+         before every timed round trip so the stall persists through the
+         measurement. *)
+      let staller = connect () in
+      Fun.protect ~finally:(fun () -> close staller) @@ fun () ->
+      Unix.set_nonblock staller;
+      let flood_line = route_line 7777 ^ "\n" in
+      let flood = String.concat "" (List.init 64 (fun _ -> flood_line)) in
+      let staller_open = ref true in
+      let top_up () =
+        if !staller_open then
+          try ignore (Unix.write_substring staller flood 0 (String.length flood))
+          with
+          | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+              staller_open := false
+      in
+      for _ = 1 to 50 do
+        top_up ()
+      done;
+      let stall_p50, stall_p99 = timed_run "one never-reading client" ~before_each:top_up in
+      (* The staller must be closed at the cap once its backlog passes
+         the kernel buffer plus the outbox bound. *)
+      let rec await_close tries =
+        if tries = 0 then 0
+        else
+          let n = counter_rpc busy "server_slow_client_closes" in
+          if n >= 1 then n
+          else begin
+            top_up ();
+            Unix.sleepf 0.1;
+            await_close (tries - 1)
+          end
+      in
+      let slow_closes = await_close 100 in
+      Printf.printf "slow clients closed at the %d-byte cap: %d\n" outbox_cap
+        slow_closes;
+      if slow_closes < 1 then
+        failwith "evloop bench: staller was never closed at the outbox cap";
+      let ratio = if base_p99 > 0. then stall_p99 /. base_p99 else nan in
+      Printf.printf "p99 under stall / p99 baseline: %.2fx\n" ratio;
+      let doc =
+        Obs_json.Obj
+          [
+            ("workers", Obs_json.Int 1);
+            ( "idle",
+              Obs_json.Obj
+                [
+                  ("window_s", Obs_json.Float window_s);
+                  ("probe_cost_wakeups", Obs_json.Int probe_cost);
+                  ("wakeups_per_s", Obs_json.Float idle_wakeups_per_s);
+                ] );
+            ( "baseline",
+              Obs_json.Obj
+                [
+                  ("idle_connections", Obs_json.Int 64);
+                  ("requests", Obs_json.Int requests);
+                  ("p50_ms", Obs_json.Float base_p50);
+                  ("p99_ms", Obs_json.Float base_p99);
+                ] );
+            ( "slow_reader",
+              Obs_json.Obj
+                [
+                  ("requests", Obs_json.Int requests);
+                  ("max_outbox_bytes", Obs_json.Int outbox_cap);
+                  ("p50_ms", Obs_json.Float stall_p50);
+                  ("p99_ms", Obs_json.Float stall_p99);
+                  ("p99_ratio", Obs_json.Float ratio);
+                  ("slow_client_closes", Obs_json.Int slow_closes);
+                ] );
+          ]
+      in
+      let out = "BENCH_evloop.json" in
+      Out_channel.with_open_text out (fun oc -> Obs_json.to_channel oc doc);
+      let content = In_channel.with_open_text out In_channel.input_all in
+      (match Obs_json.of_string content with
+      | Ok parsed ->
+          if not (Obs_json.equal parsed doc) then
+            failwith "BENCH_evloop.json did not round-trip"
+      | Error msg -> failwith ("BENCH_evloop.json is not well-formed: " ^ msg));
+      Printf.printf "(event-loop behavior written to %s)\n" out
+
 (* ------------------------------------------------------------- ablations *)
 
 let ablation_discovery_assignment () =
@@ -900,6 +1142,7 @@ let () =
   | "phases" -> phases sides
   | "parallel" -> parallel ()
   | "overload" -> overload ()
+  | "evloop" -> evloop ()
   | "ablation" -> ablations ()
   | "circuits" -> circuits ()
   | "realistic" -> realistic ()
@@ -910,11 +1153,12 @@ let () =
       phases sides;
       parallel ();
       overload ();
+      evloop ();
       ablations ();
       circuits ();
       realistic ();
       micro ()
   | other ->
-      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|parallel|overload|ablation|circuits|realistic|micro|all)\n"
+      Printf.eprintf "unknown mode %S (expected fig4|fig5|phases|parallel|overload|evloop|ablation|circuits|realistic|micro|all)\n"
         other;
       exit 1

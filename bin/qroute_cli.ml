@@ -563,6 +563,17 @@ let serve_cmd =
              may send; past it the server replies $(b,invalid_request) and \
              closes the connection.")
   in
+  let max_outbox_bytes =
+    Arg.(
+      value & opt int Server_session.default_config.max_outbox_bytes
+      & info [ "max-outbox-bytes" ] ~docv:"N"
+          ~doc:
+            "Response bytes queued for a connection whose client is not \
+             reading; past it the connection is closed \
+             ($(b,server_slow_client_closes)).  A stalled reader only ever \
+             blocks itself — the readiness loop keeps serving everyone \
+             else.")
+  in
   let hung_request_ms =
     Arg.(
       value
@@ -612,9 +623,9 @@ let serve_cmd =
              half-open probe requests.")
   in
   let run stdio socket workers cache_capacity max_batch max_inflight verify
-      error_budget max_line_bytes hung_request_ms queue_delay_ms max_rss_mb
-      breaker_threshold breaker_cooldown_ms metrics_file log_level log_format
-      =
+      error_budget max_line_bytes max_outbox_bytes hung_request_ms
+      queue_delay_ms max_rss_mb breaker_threshold breaker_cooldown_ms
+      metrics_file log_level log_format =
     let breaker =
       if breaker_threshold <= 0 then None
       else
@@ -634,6 +645,7 @@ let serve_cmd =
         verify;
         error_budget;
         max_line_bytes;
+        max_outbox_bytes;
         hung_request_ms;
         queue_delay_target_ms = queue_delay_ms;
         max_rss_mb;
@@ -692,7 +704,8 @@ let serve_cmd =
     Term.(
       const run $ stdio $ socket_arg $ workers $ cache_capacity $ max_batch
       $ max_inflight $ verify $ error_budget $ max_line_bytes
-      $ hung_request_ms $ queue_delay_ms $ max_rss_mb $ breaker_threshold
+      $ max_outbox_bytes $ hung_request_ms $ queue_delay_ms $ max_rss_mb
+      $ breaker_threshold
       $ breaker_cooldown_ms $ metrics_file_arg
       $ log_level_arg ~default:Log.Info $ log_format_arg)
 

@@ -15,7 +15,10 @@ let with_trace (request : Protocol.request) =
   | None -> { request with Protocol.trace = Some (Trace_context.mint ()) }
 
 let call ~path line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* CLOEXEC: a client embedded in a program that forks (the chaos
+     harness, a respawning supervisor) must not leak its RPC socket
+     into children. *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
   match
     Fun.protect ~finally @@ fun () ->
@@ -35,6 +38,9 @@ let call ~path line =
       else
         match Io_util.read_chunk ~fault:"client.read" fd chunk with
         | Io_util.Eof | Io_util.Closed -> ()
+        (* Blocking fd: a would-block can only come from an injected
+           EAGAIN — retry like the kernel would have. *)
+        | Io_util.Would_block -> read_line ()
         | Io_util.Read k ->
             Buffer.add_subbytes buf chunk 0 k;
             read_line ()

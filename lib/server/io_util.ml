@@ -1,6 +1,8 @@
 module Fault = Qr_fault.Fault
 
-type read_result = Read of int | Eof | Closed
+type read_result = Read of int | Eof | Closed | Would_block
+
+type write_result = Wrote of int | Write_blocked | Write_closed
 
 let with_fault fault f =
   match fault with Some name -> Fault.point name ~f | None -> f ()
@@ -28,13 +30,32 @@ let write_all ?fault fd s =
 
 let write_line ?fault fd line = write_all ?fault fd (line ^ "\n")
 
+let rec write_once ?fault fd s ~pos ~len =
+  let len =
+    match fault with
+    | Some name -> max 1 (Fault.truncate name len)
+    | None -> len
+  in
+  match with_fault fault (fun () -> Unix.write_substring fd s pos len) with
+  | written -> Wrote written
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_once ?fault fd s ~pos ~len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Write_blocked
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      Write_closed
+
 let rec read_chunk ?fault fd buf =
   match
     with_fault fault (fun () -> Unix.read fd buf 0 (Bytes.length buf))
   with
   | 0 -> Eof
   | k -> Read k
-  | exception
-      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      read_chunk ?fault fd buf
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk ?fault fd buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* A nonblocking fd with nothing to read.  The old loop retried
+         here, which on a readiness-driven server meant burning a whole
+         core spinning on an idle descriptor; surfacing the state lets
+         the event loop park the connection until poll(2) reports it
+         readable again. *)
+      Would_block
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Closed

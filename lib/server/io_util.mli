@@ -9,6 +9,12 @@
     short writes and [EINTR] are retried until the operation completes,
     and peer-gone errors come back as values instead of exceptions.
 
+    The serving loops run their sockets {e nonblocking} (DESIGN.md §15),
+    so [EAGAIN]/[EWOULDBLOCK] is a state, not an error: {!read_chunk}
+    reports it as {!Would_block} and {!write_once} as {!Write_blocked},
+    and the event loop reschedules the descriptor on readiness instead
+    of spinning.
+
     Both helpers carry an optional {!Qr_fault.Fault} point name so a
     chaos plan can tear writes ([truncate]), storm them with
     [raise(eintr)], or kill the peer mid-response ([raise(epipe)])
@@ -18,22 +24,49 @@ type read_result =
   | Read of int  (** [n > 0] bytes were read. *)
   | Eof  (** Orderly end of stream. *)
   | Closed  (** The peer reset the connection. *)
+  | Would_block
+      (** Nonblocking fd with no data right now; wait for readiness.
+          (Historically {!read_chunk} busy-retried this case, burning a
+          core on an idle nonblocking descriptor.) *)
+
+type write_result =
+  | Wrote of int  (** [n >= 0] bytes were accepted by the kernel. *)
+  | Write_blocked
+      (** Kernel buffer full (nonblocking fd); wait for writability. *)
+  | Write_closed  (** The peer is gone ([EPIPE]/[ECONNRESET]). *)
 
 val write_all :
   ?fault:string -> Unix.file_descr -> string -> (unit, [ `Closed ]) result
 (** Write the whole string, looping over short writes and [EINTR].
     [EPIPE]/[ECONNRESET] (peer closed mid-response) return
-    [Error `Closed].  [fault] names a fault point applied to every
-    underlying write: [Truncate] shortens the attempted length (the loop
-    still completes the payload), raising actions are interpreted like
-    the matching errno. *)
+    [Error `Closed].  For {e blocking} descriptors (the one-shot client,
+    channel transports); on a nonblocking fd an [EAGAIN] would escape as
+    an exception — use {!write_once} and a {!Write_queue} there.
+    [fault] names a fault point applied to every underlying write:
+    [Truncate] shortens the attempted length (the loop still completes
+    the payload), raising actions are interpreted like the matching
+    errno. *)
 
 val write_line :
   ?fault:string -> Unix.file_descr -> string -> (unit, [ `Closed ]) result
 (** {!write_all} of [line ^ "\n"]. *)
 
+val write_once :
+  ?fault:string ->
+  Unix.file_descr ->
+  string ->
+  pos:int ->
+  len:int ->
+  write_result
+(** One write attempt of [s.[pos .. pos+len)], retrying only [EINTR].
+    Short writes are reported, not looped: the caller (a per-connection
+    {!Write_queue}) keeps the remainder queued and flushes again when
+    poll reports the fd writable.  [fault] applies {!Qr_fault.Fault}
+    [truncate] (clamped to [>= 1]) and raising actions like
+    {!write_all}. *)
+
 val read_chunk : ?fault:string -> Unix.file_descr -> bytes -> read_result
-(** Read once into the buffer, retrying [EINTR] and spurious
-    [EAGAIN]/[EWOULDBLOCK] wake-ups (the serving loops only read
-    [select]-ready descriptors, so a would-block result is transient).
-    0 bytes is {!Eof}; [ECONNRESET]/[EPIPE] is {!Closed}. *)
+(** Read once into the buffer, retrying [EINTR].  0 bytes is {!Eof};
+    [EAGAIN]/[EWOULDBLOCK] is {!Would_block} (nonblocking fd, no data —
+    the event loop re-arms read interest rather than spinning);
+    [ECONNRESET]/[EPIPE] is {!Closed}. *)

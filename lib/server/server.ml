@@ -14,9 +14,20 @@ let c_oversized =
   Metrics.counter "server_oversized_lines"
     ~help:"Connections closed for exceeding max-line-bytes."
 
+let c_slow_closes =
+  Metrics.counter "server_slow_client_closes"
+    ~help:
+      "Connections closed because their queued responses exceeded \
+       max-outbox-bytes (client stopped reading)."
+
 let g_workers =
   Metrics.gauge "server_workers"
     ~help:"Worker domains serving requests (1 = single-threaded loop)."
+
+(* How long the post-signal drain keeps trying to flush response bytes a
+   slow client has not read yet.  The requests themselves are always
+   answered into the outboxes; this only bounds the goodbye. *)
+let drain_flush_ns = 5_000_000_000L
 
 (* ------------------------------------------------- metrics-file snapshots *)
 
@@ -41,7 +52,9 @@ let write_metrics_file path =
 let metrics_interval_ns = 2_000_000_000L
 
 (* A rate-limited writer: [tick] writes at most every ~2s, [flush] always
-   (startup, shutdown, EOF). *)
+   (startup, shutdown, EOF).  The socket loops drive [tick] from an
+   event-loop timer instead of a poll-timeout cadence, so a server with
+   no metrics file armed never wakes for it at all. *)
 let metrics_writer metrics_file =
   match metrics_file with
   | None -> ((fun () -> ()), fun () -> ())
@@ -56,6 +69,16 @@ let metrics_writer metrics_file =
           flush ()
       in
       (tick, flush)
+
+(* Arm the snapshot cadence on the event loop — only when there is a
+   file to write. *)
+let add_metrics_timer loop metrics_file tick =
+  match metrics_file with
+  | None -> ()
+  | Some _ ->
+      ignore
+        (Event_loop.add_timer loop ~period_ns:metrics_interval_ns
+           ~delay_ns:metrics_interval_ns tick)
 
 (* ---------------------------------------------------------- channel loop *)
 
@@ -87,27 +110,66 @@ let run_stdio ?config ?metrics_file () =
   Metrics.enable ();
   serve_channels ?config ?metrics_file stdin stdout
 
-(* ----------------------------------------------------------- socket loop *)
+(* ------------------------------------------------------------ connections *)
 
+(* One nonblocking accepted socket in the readiness loop.  Responses go
+   through a bounded {!Write_queue} flushed on writability: a client
+   that stops reading grows only its own queue, and past the byte cap
+   the connection is closed ([server_slow_client_closes]) instead of
+   head-of-line-blocking the loop the way the historical blocking
+   [write_all] did.
+
+   [eof] stops reading but keeps flushing (the half-closed one-shot
+   client pattern: request sent, write side shut down, still waiting to
+   read its response); the connection closes once the queue drains.
+   [dead] closes immediately, discarding queued bytes. *)
 type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;  (* bytes read, possibly ending mid-line *)
   session : Session.t;
+  wq : Write_queue.t;
+  mutable handle : Event_loop.handle option;
   mutable eof : bool;
+  mutable dead : bool;
 }
 
-(* Blocking write of a whole response.  EPIPE/ECONNRESET (client went away
-   mid-response) and an injected write fault just mark the connection
-   dead; short writes and EINTR are absorbed by {!Io_util}. *)
+let conn_closing conn = conn.eof || conn.dead
+
+(* Queue a response line.  Overflow is the slow-client verdict: drop the
+   connection rather than buffer without bound. *)
 let send conn line =
-  match Io_util.write_line ~fault:"server.write" conn.fd line with
-  | Ok () -> ()
-  | Error `Closed -> conn.eof <- true
-  | exception Fault.Injected _ -> conn.eof <- true
+  if not conn.dead then
+    match Write_queue.enqueue conn.wq line with
+    | `Ok -> ()
+    | `Overflow ->
+        Metrics.incr c_slow_closes;
+        conn.dead <- true
+
+(* Flush whatever the kernel will take and keep write interest armed
+   exactly while bytes remain.  The [server.writable] fault point covers
+   the flush as a whole (a chaos plan can stall or kill the writable
+   path); per-write faults stay on [server.write] inside the queue. *)
+let flush_conn loop conn =
+  if not conn.dead then begin
+    match
+      Fault.point "server.writable" ~f:(fun () -> Write_queue.flush conn.wq)
+    with
+    | `Idle -> (
+        match conn.handle with
+        | Some h -> Event_loop.set_interest loop h ~writable:false ()
+        | None -> ())
+    | `Pending -> (
+        match conn.handle with
+        | Some h -> Event_loop.set_interest loop h ~writable:true ()
+        | None -> ())
+    | `Closed -> conn.dead <- true
+    | exception Fault.Injected _ -> conn.dead <- true
+  end
 
 (* Answer one request line, with per-request exception isolation — a
    crashing handler yields an [internal_error] response, never a dead
-   loop — and enforce the connection's consecutive-error budget. *)
+   loop — and enforce the connection's consecutive-error budget.  A
+   budget trip closes gracefully: the final reply still flushes. *)
 let respond config conn line =
   let reply =
     try Session.handle_line conn.session line
@@ -154,28 +216,78 @@ let take_lines_buf inbuf ~limit =
 let take_lines config conn =
   take_lines_buf conn.inbuf ~limit:config.Session.max_line_bytes
 
+(* Pull whatever is readable off a connection.  [Would_block] is the
+   normal end of a readiness-sized burst on a nonblocking fd — park
+   until poll reports the fd readable again (the old loop busy-spun
+   here). *)
+let read_conn conn chunk =
+  let rec go () =
+    if conn_closing conn then ()
+    else
+      match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
+      | Io_util.Would_block -> ()
+      | Io_util.Eof | Io_util.Closed -> conn.eof <- true
+      | Io_util.Read k ->
+          Buffer.add_subbytes conn.inbuf chunk 0 k;
+          go ()
+      | exception Fault.Injected _ -> conn.eof <- true
+  in
+  go ()
+
+let stop_reading loop conn =
+  match conn.handle with
+  | Some h -> Event_loop.set_interest loop h ~readable:false ()
+  | None -> ()
+
 (* ------------------------------------------------- single-connection loop *)
 
 let serve_fd ?(config = Session.default_config) ?session fd =
   let session =
     match session with Some s -> s | None -> Session.create ~config ()
   in
-  let conn = { fd; inbuf = Buffer.create 256; session; eof = false } in
+  let loop = Event_loop.create () in
+  Unix.set_nonblock fd;
+  let conn =
+    {
+      fd;
+      inbuf = Buffer.create 256;
+      session;
+      wq =
+        Write_queue.create ~fault:"server.write"
+          ~cap_bytes:config.Session.max_outbox_bytes fd;
+      handle = None;
+      eof = false;
+      dead = false;
+    }
+  in
   let chunk = Bytes.create 65536 in
-  while not conn.eof do
-    match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
-    | Io_util.Eof | Io_util.Closed -> conn.eof <- true
-    | Io_util.Read k -> (
-        Buffer.add_subbytes conn.inbuf chunk 0 k;
-        match take_lines config conn with
-        | `Lines lines -> List.iter (fun line -> respond config conn line) lines
-        | `Oversized lines ->
-            List.iter (fun line -> respond config conn line) lines;
-            Metrics.incr c_oversized;
-            send conn (Session.oversized_response_line ());
-            conn.eof <- true)
-    | exception Fault.Injected _ -> conn.eof <- true
-  done
+  let on_readable ~readable ~writable =
+    if readable then begin
+      read_conn conn chunk;
+      match take_lines config conn with
+      | `Lines lines -> List.iter (fun line -> respond config conn line) lines
+      | `Oversized lines ->
+          List.iter (fun line -> respond config conn line) lines;
+          Metrics.incr c_oversized;
+          send conn (Session.oversized_response_line ());
+          conn.eof <- true
+    end;
+    ignore writable
+  in
+  let h = Event_loop.watch loop fd (fun ~readable ~writable -> on_readable ~readable ~writable) in
+  conn.handle <- Some h;
+  let finally () =
+    Event_loop.unwatch loop h;
+    (* The caller owns the fd; hand it back in the blocking state it
+       arrived in. *)
+    try Unix.clear_nonblock fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  Event_loop.run loop
+    ~on_cycle:(fun () ->
+      flush_conn loop conn;
+      if conn.eof then stop_reading loop conn)
+    ~stop:(fun () -> conn.dead || (conn.eof && Write_queue.is_empty conn.wq))
 
 (* ------------------------------------------------------------ socket loop *)
 
@@ -185,10 +297,11 @@ let remove_stale_socket path =
   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let run_socket_single ~config ?metrics_file ~path () =
-  Metrics.enable ();
-  Metrics.set g_workers 1.;
-  let tick_metrics, flush_metrics = metrics_writer metrics_file in
+(* Shared scaffolding for both socket loops: signals, the listening
+   socket (CLOEXEC + nonblocking: the forked chaos tests and respawned
+   worker domains must not inherit serving fds, and the accept burst
+   must end in [EWOULDBLOCK], not a block). *)
+let with_signals_and_listener ~path f =
   let stop = ref false in
   let prev_int =
     Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
@@ -200,125 +313,188 @@ let run_socket_single ~config ?metrics_file ~path () =
      process. *)
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   remove_stale_socket path;
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX path);
-  Unix.listen listener 16;
-  let cache = Plan_cache.create ~capacity:config.Session.cache_capacity () in
-  let conns = ref [] in
-  let pending = Queue.create () in
-  let chunk = Bytes.create 65536 in
-  let cleanup () =
-    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-      !conns;
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
+  let restore () =
     (try Unix.close listener with Unix.Unix_error _ -> ());
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     ignore (Sys.signal Sys.sigint prev_int);
     ignore (Sys.signal Sys.sigterm prev_term);
-    ignore (Sys.signal Sys.sigpipe prev_pipe);
+    ignore (Sys.signal Sys.sigpipe prev_pipe)
+  in
+  f ~stop ~listener ~restore
+
+(* Accept everything pending this wakeup.  The capacity guard keeps the
+   select fallback below FD_SETSIZE — connections past it wait in the
+   listen backlog instead of blowing up the multiplexer with EINVAL
+   (the poll backend has no such cap).  An injected accept fault skips
+   one accept; the client sees a connection that was never picked up
+   and retries. *)
+let accept_burst loop listener ~on_fd =
+  let continue = ref true in
+  while !continue do
+    if Event_loop.at_capacity loop then begin
+      Log.warn_once ~key:"fd_capacity"
+        "select backend at FD_SETSIZE; deferring accepts"
+        [ ("capacity", Json.Int (Option.value ~default:0 (Event_loop.capacity loop))) ];
+      continue := false
+    end
+    else
+      match
+        Fault.point "server.accept" ~f:(fun () ->
+            Unix.accept ~cloexec:true listener)
+      with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Metrics.incr c_connections;
+          on_fd fd
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Fault.Injected _ -> continue := false
+      | exception Unix.Unix_error _ -> continue := false
+  done
+
+let run_socket_single ~config ?metrics_file ~path () =
+  Metrics.enable ();
+  Metrics.set g_workers 1.;
+  let tick_metrics, flush_metrics = metrics_writer metrics_file in
+  with_signals_and_listener ~path @@ fun ~stop ~listener ~restore ->
+  let loop = Event_loop.create () in
+  add_metrics_timer loop metrics_file tick_metrics;
+  let cache = Plan_cache.create ~capacity:config.Session.cache_capacity () in
+  let conns = ref [] in
+  let pending = Queue.create () in
+  let chunk = Bytes.create 65536 in
+  (* Stage complete lines in the bounded in-flight queue; requests
+     pipelined past the bound are shed with [overloaded] right away
+     rather than queued without limit.  An oversized line queues a close
+     marker behind the conn's staged lines, so the [invalid_request]
+     goodbye still leaves in arrival order. *)
+  let stage conn =
+    let lines, oversized =
+      match take_lines config conn with
+      | `Lines lines -> (lines, false)
+      | `Oversized lines -> (lines, true)
+    in
+    List.iter
+      (fun line ->
+        if Queue.length pending >= config.Session.max_inflight then begin
+          Metrics.incr c_shed;
+          send conn (Session.overloaded_response_line line)
+        end
+        else Queue.add (conn, `Line line) pending)
+      lines;
+    if oversized then Queue.add (conn, `Oversized) pending
+  in
+  let on_conn conn ~readable ~writable =
+    if readable then begin
+      read_conn conn chunk;
+      stage conn
+    end;
+    if writable then flush_conn loop conn
+  in
+  let add_conn fd =
+    let conn =
+      {
+        fd;
+        inbuf = Buffer.create 256;
+        session =
+          Session.create ~config ~cache
+            ~inflight_probe:(fun () -> Queue.length pending)
+            ();
+        wq =
+          Write_queue.create ~fault:"server.write"
+            ~cap_bytes:config.Session.max_outbox_bytes fd;
+        handle = None;
+        eof = false;
+        dead = false;
+      }
+    in
+    let h =
+      Event_loop.watch loop fd (fun ~readable ~writable ->
+          on_conn conn ~readable ~writable)
+    in
+    conn.handle <- Some h;
+    conns := conn :: !conns
+  in
+  let close_conn conn =
+    (match conn.handle with Some h -> Event_loop.unwatch loop h | None -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  let cleanup () =
+    List.iter close_conn !conns;
+    restore ();
     (* Final snapshot so the last requests before shutdown are visible
        to scrapers. *)
     flush_metrics ()
   in
+  (* Drain: answer everything staged this cycle, in arrival order.  The
+     queue is empty again before the next poll, so a SIGTERM between
+     cycles never abandons accepted work.  A half-closed connection
+     (client shut down its write side and is waiting to read — the
+     one-shot client pattern) has eof set but must still get its
+     responses; the write queue flushes them before the close. *)
+  let on_cycle () =
+    while not (Queue.is_empty pending) do
+      match Queue.pop pending with
+      | conn, `Line line -> respond config conn line
+      | conn, `Oversized ->
+          Metrics.incr c_oversized;
+          send conn (Session.oversized_response_line ());
+          conn.eof <- true
+    done;
+    conns :=
+      List.filter
+        (fun conn ->
+          flush_conn loop conn;
+          if conn.eof then stop_reading loop conn;
+          if conn.dead || (conn.eof && Write_queue.is_empty conn.wq) then begin
+            close_conn conn;
+            false
+          end
+          else true)
+        !conns
+  in
+  let listener_h =
+    Event_loop.watch loop listener (fun ~readable ~writable ->
+        ignore writable;
+        if readable then accept_burst loop listener ~on_fd:add_conn)
+  in
   Fun.protect ~finally:cleanup @@ fun () ->
   flush_metrics ();
-  while not !stop do
-    let fds = listener :: List.map (fun c -> c.fd) !conns in
-    match Unix.select fds [] [] 1.0 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
-        if List.memq listener ready then begin
-          (* An injected accept fault skips this accept; the client sees a
-             connection that was never picked up and retries. *)
-          match Fault.point "server.accept" ~f:(fun () -> Unix.accept listener)
-          with
-          | fd, _ ->
-              Metrics.incr c_connections;
-              conns :=
-                {
-                  fd;
-                  inbuf = Buffer.create 256;
-                  session =
-                    Session.create ~config ~cache
-                      ~inflight_probe:(fun () -> Queue.length pending)
-                      ();
-                  eof = false;
-                }
-                :: !conns
-          | exception Fault.Injected _ -> ()
-          | exception Unix.Unix_error _ -> ()
-        end;
-        List.iter
-          (fun conn ->
-            if List.memq conn.fd ready then
-              match Io_util.read_chunk ~fault:"server.read" conn.fd chunk with
-              | Io_util.Eof | Io_util.Closed -> conn.eof <- true
-              | Io_util.Read k -> Buffer.add_subbytes conn.inbuf chunk 0 k
-              | exception Fault.Injected _ -> conn.eof <- true)
-          !conns;
-        (* Stage complete lines in the bounded in-flight queue; requests
-           pipelined past the bound are shed with [overloaded] right
-           away rather than queued without limit.  An oversized line
-           queues a close marker behind the conn's staged lines, so the
-           [invalid_request] goodbye still leaves in arrival order. *)
-        List.iter
-          (fun conn ->
-            let lines, oversized =
-              match take_lines config conn with
-              | `Lines lines -> (lines, false)
-              | `Oversized lines -> (lines, true)
-            in
-            List.iter
-              (fun line ->
-                if Queue.length pending >= config.Session.max_inflight then begin
-                  Metrics.incr c_shed;
-                  send conn (Session.overloaded_response_line line)
-                end
-                else Queue.add (conn, `Line line) pending)
-              lines;
-            if oversized then Queue.add (conn, `Oversized) pending)
-          !conns;
-        (* Drain: answer everything queued this cycle, in arrival order.
-           The queue is empty again before the next poll, so a SIGTERM
-           between cycles never abandons accepted work. *)
-        (* A half-closed connection (client shut down its write side and
-           is waiting to read — the one-shot client pattern) has eof set
-           but must still get its responses; [send] absorbs the EPIPE if
-           the client is really gone. *)
-        while not (Queue.is_empty pending) do
-          match Queue.pop pending with
-          | conn, `Line line -> respond config conn line
-          | conn, `Oversized ->
-              Metrics.incr c_oversized;
-              send conn (Session.oversized_response_line ());
-              conn.eof <- true
-        done;
-        conns :=
-          List.filter
-            (fun conn ->
-              if conn.eof then begin
-                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-                false
-              end
-              else true)
-            !conns;
-        (* Piggyback on the poll cadence (select times out at 1.0s), so
-           an idle server still refreshes the snapshot about every 2s. *)
-        tick_metrics ()
-  done
+  Event_loop.run loop ~on_cycle ~stop:(fun () -> !stop);
+  (* Graceful drain: stop accepting and reading; all staged requests
+     are already answered into the write queues (the pending queue
+     empties every cycle), so only give slow readers a bounded grace to
+     take their remaining bytes. *)
+  Event_loop.unwatch loop listener_h;
+  List.iter (fun c -> c.eof <- true) !conns;
+  let deadline = Int64.add (Timer.now_ns ()) drain_flush_ns in
+  let drained () = !conns = [] in
+  ignore (Event_loop.add_timer loop ~delay_ns:drain_flush_ns (fun () -> ()));
+  (* Reap already-flushed connections before the first poll so an idle
+     shutdown returns without blocking. *)
+  on_cycle ();
+  Event_loop.run loop ~on_cycle
+    ~stop:(fun () ->
+      drained () || Int64.compare (Timer.now_ns ()) deadline > 0)
 
 (* --------------------------------------------------- multicore socket loop *)
 
-(* Pool mode (DESIGN.md §13): the accept/IO loop stays on the main
+(* Pool mode (DESIGN.md §13, §15): the accept/IO loop stays on the main
    domain; parsed request lines become jobs on a {!Worker_pool}.  Each
    request is stamped with a per-connection sequence number at arrival,
    and finished responses land in the connection's outbox (a mutex-
-   guarded seq -> line table filled by workers); the main loop writes
-   consecutive sequence numbers only, so responses leave every
-   connection in arrival order no matter how the workers interleave —
-   including shed [overloaded] responses, which are parked in the outbox
-   at their slot instead of jumping the queue.  A worker finishing a job
-   pokes a self-pipe watched by [select], so responses are written
-   promptly instead of waiting out the poll timeout. *)
+   guarded seq -> line table filled by workers); the main loop moves
+   consecutive sequence numbers into the connection's write queue, so
+   responses leave every connection in arrival order no matter how the
+   workers interleave — including shed [overloaded] responses, which
+   are parked in the outbox at their slot instead of jumping the queue.
+   A worker finishing a job pokes a self-pipe that is just another
+   readable fd in the loop's interest set, so responses are written
+   promptly instead of waiting out a poll timeout. *)
 type pconn = {
   p_fd : Unix.file_descr;
   p_inbuf : Buffer.t;
@@ -330,11 +506,13 @@ type pconn = {
      honouring retry_after_ms through a long brownout must neither be
      disconnected for it nor have its garbage streak forgiven by it. *)
   p_outbox : (int, string * [ `Ok | `Errored | `Shed ]) Hashtbl.t;
+  p_wq : Write_queue.t;
+  mutable p_handle : Event_loop.handle option;
   mutable p_next_seq : int;  (* main domain only *)
   mutable p_next_write : int;  (* main domain only *)
-  mutable p_inflight : int;  (* submitted, not yet flushed; main only *)
+  mutable p_inflight : int;  (* submitted, not yet moved to the wq; main only *)
   mutable p_eof : bool;  (* read side finished *)
-  mutable p_dead : bool;  (* write failed or error budget tripped *)
+  mutable p_dead : bool;  (* write failed, slow-client cap, or budget *)
   mutable p_errors : int;  (* consecutive error responses *)
 }
 
@@ -342,23 +520,15 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
   Metrics.enable ();
   Metrics.set g_workers (float_of_int workers);
   let tick_metrics, flush_metrics = metrics_writer metrics_file in
-  let stop = ref false in
-  let prev_int =
-    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
-  in
-  let prev_term =
-    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
-  in
-  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  remove_stale_socket path;
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listener (Unix.ADDR_UNIX path);
-  Unix.listen listener 16;
+  with_signals_and_listener ~path @@ fun ~stop ~listener ~restore ->
+  let loop = Event_loop.create () in
+  add_metrics_timer loop metrics_file tick_metrics;
   let cache = Plan_cache.create ~capacity:config.Session.cache_capacity () in
   (* Self-pipe: workers poke the write end after each finished job; the
-     read end sits in the select set.  Both ends nonblocking — a full
-     pipe already means a wake-up is pending. *)
-  let pipe_rd, pipe_wr = Unix.pipe () in
+     read end sits in the interest set like any connection.  Both ends
+     nonblocking — a full pipe already means a wake-up is pending — and
+     CLOEXEC, like every fd this loop mints. *)
+  let pipe_rd, pipe_wr = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock pipe_rd;
   Unix.set_nonblock pipe_wr;
   let poke = Bytes.make 1 '!' in
@@ -475,9 +645,12 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
               `Shed )
         end
   in
-  (* Write finished responses in sequence order; stop at the first slot
-     a worker hasn't filled yet.  A dead connection keeps consuming its
-     slots (so inflight reaches 0 and it can close) without writing. *)
+  (* Move finished responses into the write queue in sequence order;
+     stop at the first slot a worker hasn't filled yet.  A dead
+     connection keeps consuming its slots (so inflight reaches 0 and it
+     can close) without queuing bytes.  A queue overflow is the
+     slow-client verdict: the client stopped reading while its replies
+     kept coming. *)
   let flush_outbox conn =
     let rec go () =
       Mutex.lock conn.p_mutex;
@@ -492,10 +665,11 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
           conn.p_inflight <- conn.p_inflight - 1;
           conn.p_next_write <- conn.p_next_write + 1;
           if not conn.p_dead then begin
-            (match Io_util.write_line ~fault:"server.write" conn.p_fd line with
-            | Ok () -> ()
-            | Error `Closed -> conn.p_dead <- true
-            | exception Fault.Injected _ -> conn.p_dead <- true);
+            (match Write_queue.enqueue conn.p_wq line with
+            | `Ok -> ()
+            | `Overflow ->
+                Metrics.incr c_slow_closes;
+                conn.p_dead <- true);
             match standing with
             | `Errored ->
                 conn.p_errors <- conn.p_errors + 1;
@@ -511,18 +685,96 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
     in
     go ()
   in
+  let flush_wq conn =
+    if not conn.p_dead then begin
+      match
+        Fault.point "server.writable" ~f:(fun () ->
+            Write_queue.flush conn.p_wq)
+      with
+      | `Idle -> (
+          match conn.p_handle with
+          | Some h -> Event_loop.set_interest loop h ~writable:false ()
+          | None -> ())
+      | `Pending -> (
+          match conn.p_handle with
+          | Some h -> Event_loop.set_interest loop h ~writable:true ()
+          | None -> ())
+      | `Closed -> conn.p_dead <- true
+      | exception Fault.Injected _ -> conn.p_dead <- true
+    end
+  in
+  let read_pconn conn =
+    let rec go () =
+      if conn.p_eof || conn.p_dead then ()
+      else
+        match Io_util.read_chunk ~fault:"server.read" conn.p_fd chunk with
+        | Io_util.Would_block -> ()
+        | Io_util.Eof | Io_util.Closed -> conn.p_eof <- true
+        | Io_util.Read k ->
+            Buffer.add_subbytes conn.p_inbuf chunk 0 k;
+            go ()
+        | exception Fault.Injected _ -> conn.p_eof <- true
+    in
+    go ()
+  in
+  let stage_pconn conn =
+    match
+      take_lines_buf conn.p_inbuf ~limit:config.Session.max_line_bytes
+    with
+    | `Lines lines -> List.iter (submit_line conn) lines
+    | `Oversized lines ->
+        List.iter (submit_line conn) lines;
+        Metrics.incr c_oversized;
+        park conn (Session.oversized_response_line (), `Errored);
+        (* p_eof, not p_dead: queued replies (and the goodbye) still
+           flush before the socket closes. *)
+        conn.p_eof <- true
+  in
+  let on_pconn conn ~readable ~writable =
+    if readable then begin
+      read_pconn conn;
+      stage_pconn conn
+    end;
+    if writable then flush_wq conn
+  in
+  let add_conn fd =
+    let conn =
+      {
+        p_fd = fd;
+        p_inbuf = Buffer.create 256;
+        p_mutex = Mutex.create ();
+        p_outbox = Hashtbl.create 8;
+        p_wq =
+          Write_queue.create ~fault:"server.write"
+            ~cap_bytes:config.Session.max_outbox_bytes fd;
+        p_handle = None;
+        p_next_seq = 0;
+        p_next_write = 0;
+        p_inflight = 0;
+        p_eof = false;
+        p_dead = false;
+        p_errors = 0;
+      }
+    in
+    let h =
+      Event_loop.watch loop fd (fun ~readable ~writable ->
+          on_pconn conn ~readable ~writable)
+    in
+    conn.p_handle <- Some h;
+    conns := conn :: !conns
+  in
+  let close_pconn conn =
+    (match conn.p_handle with
+    | Some h -> Event_loop.unwatch loop h
+    | None -> ());
+    try Unix.close conn.p_fd with Unix.Unix_error _ -> ()
+  in
   let cleanup () =
     Worker_pool.shutdown pool;
-    List.iter
-      (fun c -> try Unix.close c.p_fd with Unix.Unix_error _ -> ())
-      !conns;
+    List.iter close_pconn !conns;
     (try Unix.close pipe_rd with Unix.Unix_error _ -> ());
     (try Unix.close pipe_wr with Unix.Unix_error _ -> ());
-    (try Unix.close listener with Unix.Unix_error _ -> ());
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    ignore (Sys.signal Sys.sigint prev_int);
-    ignore (Sys.signal Sys.sigterm prev_term);
-    ignore (Sys.signal Sys.sigpipe prev_pipe);
+    restore ();
     flush_metrics ()
   in
   (* One watchdog/brownout pass.  A worker declared lost gets its slot
@@ -538,87 +790,69 @@ let run_socket_pool ~config ?metrics_file ~path ~workers () =
       (Supervisor.monitor sup);
     Supervisor.check_memory sup ~cache
   in
+  (* The watchdog/brownout cadence replaces the old fixed poll timeout:
+     armed only when there is something to supervise, so an idle server
+     without a watchdog makes no timer wakeups at all. *)
+  if
+    config.Session.hung_request_ms <> None
+    || config.Session.max_rss_mb <> None
+  then begin
+    let period_ns = Supervisor.poll_interval_ns sup in
+    ignore (Event_loop.add_timer loop ~period_ns ~delay_ns:period_ns supervise)
+  end;
+  let on_cycle () =
+    conns :=
+      List.filter
+        (fun conn ->
+          flush_outbox conn;
+          flush_wq conn;
+          if conn.p_eof then
+            (match conn.p_handle with
+            | Some h -> Event_loop.set_interest loop h ~readable:false ()
+            | None -> ());
+          if
+            (conn.p_eof || conn.p_dead)
+            && conn.p_inflight = 0
+            && (conn.p_dead || Write_queue.is_empty conn.p_wq)
+          then begin
+            close_pconn conn;
+            false
+          end
+          else true)
+        !conns
+  in
+  ignore
+    (Event_loop.watch loop pipe_rd (fun ~readable ~writable ->
+         ignore writable;
+         if readable then drain_pipe ()));
+  let listener_h =
+    Event_loop.watch loop listener (fun ~readable ~writable ->
+        ignore writable;
+        if readable then accept_burst loop listener ~on_fd:add_conn)
+  in
   Fun.protect ~finally:cleanup @@ fun () ->
   flush_metrics ();
-  while not !stop do
-    let live = List.filter (fun c -> not (c.p_eof || c.p_dead)) !conns in
-    let fds = listener :: pipe_rd :: List.map (fun c -> c.p_fd) live in
-    match Unix.select fds [] [] (Supervisor.poll_interval_s sup) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
-        supervise ();
-        if List.memq pipe_rd ready then drain_pipe ();
-        if List.memq listener ready then begin
-          match
-            Fault.point "server.accept" ~f:(fun () -> Unix.accept listener)
-          with
-          | fd, _ ->
-              Metrics.incr c_connections;
-              conns :=
-                {
-                  p_fd = fd;
-                  p_inbuf = Buffer.create 256;
-                  p_mutex = Mutex.create ();
-                  p_outbox = Hashtbl.create 8;
-                  p_next_seq = 0;
-                  p_next_write = 0;
-                  p_inflight = 0;
-                  p_eof = false;
-                  p_dead = false;
-                  p_errors = 0;
-                }
-                :: !conns
-          | exception Fault.Injected _ -> ()
-          | exception Unix.Unix_error _ -> ()
-        end;
-        List.iter
-          (fun conn ->
-            if List.memq conn.p_fd ready then
-              match
-                Io_util.read_chunk ~fault:"server.read" conn.p_fd chunk
-              with
-              | Io_util.Eof | Io_util.Closed -> conn.p_eof <- true
-              | Io_util.Read k -> Buffer.add_subbytes conn.p_inbuf chunk 0 k
-              | exception Fault.Injected _ -> conn.p_eof <- true)
-          live;
-        List.iter
-          (fun conn ->
-            match
-              take_lines_buf conn.p_inbuf
-                ~limit:config.Session.max_line_bytes
-            with
-            | `Lines lines -> List.iter (submit_line conn) lines
-            | `Oversized lines ->
-                List.iter (submit_line conn) lines;
-                Metrics.incr c_oversized;
-                park conn (Session.oversized_response_line (), `Errored);
-                (* p_eof, not p_dead: queued replies (and the goodbye)
-                   still flush before the socket closes. *)
-                conn.p_eof <- true)
-          live;
-        List.iter flush_outbox !conns;
-        conns :=
-          List.filter
-            (fun conn ->
-              if (conn.p_eof || conn.p_dead) && conn.p_inflight = 0 then begin
-                (try Unix.close conn.p_fd with Unix.Unix_error _ -> ());
-                false
-              end
-              else true)
-            !conns;
-        tick_metrics ()
-  done;
-  (* Graceful drain: everything already submitted gets its response
-     written before the pool is shut down and the sockets close.  The
-     watchdog keeps running so a wedged worker cannot hold the drain
-     hostage — its request is answered by the abort reply. *)
-  while List.exists (fun c -> c.p_inflight > 0) !conns do
-    supervise ();
-    (match Unix.select [ pipe_rd ] [] [] 0.05 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ -> if ready <> [] then drain_pipe ());
-    List.iter flush_outbox !conns
-  done
+  Event_loop.run loop ~on_cycle ~stop:(fun () -> !stop);
+  (* Graceful drain: stop accepting; everything already submitted gets
+     its response moved into a write queue before the pool is shut down
+     and the sockets close.  The watchdog keeps its cadence so a wedged
+     worker cannot hold the drain hostage — its request is answered by
+     the abort reply.  The final flush gives slow readers a bounded
+     grace; a client that never reads is cut off at the deadline. *)
+  Event_loop.unwatch loop listener_h;
+  let deadline = Int64.add (Timer.now_ns ()) drain_flush_ns in
+  ignore (Event_loop.add_timer loop ~delay_ns:drain_flush_ns (fun () -> ()));
+  ignore
+    (Event_loop.add_timer loop ~period_ns:50_000_000L ~delay_ns:50_000_000L
+       supervise);
+  on_cycle ();
+  Event_loop.run loop ~on_cycle
+    ~stop:(fun () ->
+      (List.for_all
+         (fun c ->
+           c.p_inflight = 0 && (c.p_dead || Write_queue.is_empty c.p_wq))
+         !conns)
+      || Int64.compare (Timer.now_ns ()) deadline > 0)
 
 let run_socket ?(config = Session.default_config) ?metrics_file
     ?(workers = 1) ~path () =

@@ -9,33 +9,52 @@
       of a socketpair, an inherited fd) until EOF — the loop the chaos
       harness drives;
     - {!run_socket} serves a Unix-domain socket.  With [workers = 1]
-      (the default) it is a single-threaded [select] event loop: every
-      accepted connection gets its own {!Session} (its own workspace)
-      but all connections share one {!Plan_cache}, so any client can
-      hit plans another client warmed.  With [workers > 1] the
-      accept/IO loop stays on the main domain and requests run on a
-      {!Worker_pool} of that many domains — one session per worker, the
-      plan cache still shared — with responses written back in arrival
-      order per connection (DESIGN.md §13).
+      (the default) it is a single-threaded readiness-driven
+      {!Event_loop} ([poll(2)], [select] fallback): every accepted
+      connection gets its own {!Session} (its own workspace) but all
+      connections share one {!Plan_cache}, so any client can hit plans
+      another client warmed.  With [workers > 1] the accept/IO loop
+      stays on the main domain and requests run on a {!Worker_pool} of
+      that many domains — one session per worker, the plan cache still
+      shared — with responses written back in arrival order per
+      connection (DESIGN.md §13); the pool's self-pipe read end is just
+      another readable fd in the loop's interest set.
+
+    All accepted descriptors are nonblocking and close-on-exec.
+    Responses go through a per-connection bounded write queue
+    ({!Write_queue}) flushed on writability: a client that stops
+    reading blocks {e only itself}, and once its outbox exceeds
+    [max_outbox_bytes] the connection is closed
+    ([server_slow_client_closes] metric) rather than letting the queue
+    grow without bound (DESIGN.md §15).  An idle server with no timers
+    armed makes zero wakeups ([server_loop_wakeups] counter); the
+    metrics-snapshot cadence and the supervisor's watchdog scan are
+    event-loop timers, armed only when their feature is on.
 
     Robustness (DESIGN.md §11): every request runs under per-request
     exception isolation — a crashing handler produces an
     [internal_error] response ([server_crashed_requests] metric), never
-    a dead loop.  Writes loop over short writes and [EINTR]; a peer
-    vanishing mid-response ([EPIPE]/[ECONNRESET]) closes that connection
-    only.  A connection that accumulates [error_budget] consecutive
-    error responses is shed ([server_error_budget_closes] metric).
-    Fault points [server.read], [server.write] and [server.accept] let a
-    chaos plan exercise all of these deterministically.
+    a dead loop.  A peer vanishing mid-response ([EPIPE]/[ECONNRESET])
+    closes that connection only.  A connection that accumulates
+    [error_budget] consecutive error responses is shed
+    ([server_error_budget_closes] metric).  Fault points [server.read],
+    [server.write], [server.accept], [server.poll] and
+    [server.writable] let a chaos plan exercise all of these
+    deterministically.
 
     Backpressure: complete request lines are staged in a bounded in-flight
     queue; once [max_inflight] requests are queued in a poll cycle,
     further pipelined requests are answered immediately with the
     [overloaded] error instead of growing the queue without bound.
 
-    Shutdown: SIGINT/SIGTERM flip a flag; the loop stops accepting,
-    answers everything already queued, flushes, closes and removes the
-    socket file before returning (graceful drain).  The stdio and socket
+    Capacity: on the poll backend the fd limit is the only bound; on
+    the select fallback the loop stops accepting (one-time warning) at
+    the FD_SETSIZE guard instead of dying in the multiplexer.
+
+    Shutdown: SIGINT/SIGTERM flip a flag; the loop stops accepting
+    (listener unwatched), answers everything already queued, flushes
+    write queues under a bounded (5s) grace for slow readers, closes
+    and removes the socket file before returning (graceful drain).  The stdio and socket
     loops enable {!Qr_obs.Metrics} so the [metrics] method and the
     plan-cache counters are live.
 
@@ -68,8 +87,11 @@ val serve_fd :
     read fault, or the error budget trips — reads through the
     [server.read] fault point and writes through [server.write], so chaos
     plans reach the real descriptor I/O (unlike {!serve_channels}, whose
-    buffered channels bypass it).  Does not close [fd] and does not
-    enable metrics; the caller owns both. *)
+    buffered channels bypass it).  Runs [fd] through the same
+    {!Event_loop} + {!Write_queue} machinery as the socket loops
+    (the fd is switched to nonblocking for the duration and restored
+    on exit).  Does not close [fd] and does not enable metrics; the
+    caller owns both. *)
 
 val run_socket :
   ?config:Session.config ->

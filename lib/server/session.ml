@@ -67,6 +67,7 @@ type config = {
   verify : bool;
   error_budget : int;
   max_line_bytes : int;
+  max_outbox_bytes : int;
   hung_request_ms : int option;
   queue_delay_target_ms : int option;
   max_rss_mb : int option;
@@ -81,6 +82,7 @@ let default_config =
     verify = false;
     error_budget = 32;
     max_line_bytes = 1 lsl 20;
+    max_outbox_bytes = 4 lsl 20;
     hung_request_ms = None;
     queue_delay_target_ms = None;
     max_rss_mb = None;

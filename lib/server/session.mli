@@ -46,6 +46,13 @@ type config = {
           server replies [invalid_request] and closes — a stuck or
           malicious client cannot grow a connection buffer without
           bound (default 1 MiB; enforced by {!Server}). *)
+  max_outbox_bytes : int;
+      (** Response bytes the server will queue for a connection whose
+          client is not reading them; past it the connection is closed
+          ([server_slow_client_closes]) — a stalled reader blocks only
+          itself, never the serving loop, and cannot hold unbounded
+          response memory (default 4 MiB; enforced by {!Server}'s
+          per-connection {!Write_queue}). *)
   hung_request_ms : int option;
       (** Watchdog budget ([--hung-request-ms]): a pool request running
           longer is cancelled, and a worker that then stops making

@@ -173,6 +173,10 @@ let poll_interval_s t =
   | Some hung_ns ->
       Float.min 1.0 (Float.max 0.01 (Int64.to_float hung_ns /. 4e9))
 
+let poll_interval_ns t =
+  let ns = Int64.of_float (poll_interval_s t *. 1e9) in
+  if Int64.compare ns 1_000_000L < 0 then 1_000_000L else ns
+
 (* ----------------------------------------------------------- admission *)
 
 (* EWMA with alpha = 1/8, folded CAS-free-loop style so any worker can

@@ -70,8 +70,14 @@ val monitor : t -> int list
     the caller respawns those domains.  Empty when [hung_ms] is off. *)
 
 val poll_interval_s : t -> float
-(** Select timeout that keeps watchdog latency within a fraction of
-    [hung_ms]: [hung_ms/4] clamped to [\[10ms, 1s\]]; [1s] when off. *)
+(** Watchdog cadence that keeps kill/lost detection within a fraction
+    of [hung_ms]: [hung_ms/4] clamped to [\[10ms, 1s\]]; [1s] when off.
+    Historically the select timeout; now the period of the event-loop
+    timer that drives {!monitor} (DESIGN.md §15). *)
+
+val poll_interval_ns : t -> int64
+(** {!poll_interval_s} in nanoseconds — the period handed to
+    {!Qr_server.Event_loop.add_timer}, never below 1ms. *)
 
 val hung : t -> int
 (** Requests killed by the watchdog (metrics-independent tally). *)

@@ -33,8 +33,10 @@ val create : ?queue_bound:int -> ?notify:(unit -> unit) -> workers:int -> unit -
 (** Spawn [workers] domains (at least 1).  [queue_bound] caps the job
     queue (default 32, matching [Session.default_config.max_inflight]).
     [notify] is called by a worker after each completed job — the
-    server's self-pipe hook that wakes its [select] loop to write
-    finished responses without waiting out the poll timeout.
+    server's self-pipe hook: the pipe's read end is just another
+    readable fd in the {!Event_loop} interest set, so a finished
+    response wakes the accept domain immediately instead of waiting
+    out a poll timeout (DESIGN.md §15).
     @raise Invalid_argument when [workers < 1] or [queue_bound < 1]. *)
 
 val workers : t -> int
